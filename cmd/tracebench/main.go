@@ -1,0 +1,38 @@
+// Command tracebench regenerates the paper's results: every experiment in
+// DESIGN.md's per-experiment index prints a paper-vs-measured table.
+//
+// Usage:
+//
+//	tracebench             run everything
+//	tracebench -exp e1     run one experiment (e1..e12, f1)
+//	tracebench -list       list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/multiflow-repro/trace/internal/xp"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e12, f1, all)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range xp.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	tables, err := xp.RunByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracebench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}

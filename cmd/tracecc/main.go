@@ -1,0 +1,98 @@
+// Command tracecc compiles MF source for a TRACE configuration and reports
+// on the compilation: IR, schedules, disassembly, code sizes.
+//
+// Usage:
+//
+//	tracecc [-pairs N] [-O level] [-profile] [-dump-ir] [-disasm] [-stats] prog.mf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/multiflow-repro/trace/internal/baseline"
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 4, "I-F board pairs (1, 2, or 4)")
+	olevel := flag.Int("O", 2, "optimization level (0-2)")
+	profRun := flag.Bool("profile", false, "profile-guided trace selection")
+	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
+	disasm := flag.Bool("disasm", false, "print the linked disassembly")
+	stats := flag.Bool("stats", true, "print code-size statistics")
+	ideal := flag.Bool("ideal", false, "target the Figure-1 ideal VLIW")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecc [flags] prog.mf")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := mach.NewConfig(*pairs)
+	if *ideal {
+		cfg = mach.IdealConfig(*pairs)
+	}
+	var lvl opt.Options
+	switch *olevel {
+	case 0:
+		lvl = opt.None()
+	case 1:
+		lvl = opt.Options{Inline: true, UnrollFactor: 4}
+	default:
+		lvl = opt.Default()
+	}
+	mode := core.ProfileHeuristic
+	if *profRun {
+		mode = core.ProfileRun
+	}
+	res, err := core.Compile(string(src), core.Options{Config: cfg, Opt: lvl, Profile: mode})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpIR {
+		fmt.Print(res.OptIR.String())
+	}
+	if *disasm {
+		for i := range res.Image.Instrs {
+			fmt.Println(res.Image.Disassemble(i))
+		}
+	}
+	if *stats {
+		fixed, packed, ops := res.Image.CodeSizes()
+		prog, _ := lang.Compile(string(src))
+		vax := baseline.VAXSize(prog)
+		fmt.Printf("target:            %s (%d ops/instr, %d-bit word)\n", cfg.Name, cfg.OpsPerInstr(), cfg.InstrBits())
+		fmt.Printf("instructions:      %d\n", len(res.Image.Instrs))
+		fmt.Printf("operations:        %d (IR before opt: %d, after: %d)\n", ops, res.Opt.OpsBefore, res.Opt.OpsAfter)
+		fmt.Printf("fixed-width size:  %d bytes\n", fixed)
+		if packed > 0 {
+			fmt.Printf("packed size:       %d bytes (%.0f%% of fixed; §6.5.1 mask format)\n",
+				packed, 100*float64(packed)/float64(fixed))
+		}
+		fmt.Printf("VAX-model size:    %d bytes (packed/VAX = %.2fx)\n", vax, float64(packed)/float64(vax))
+		fmt.Printf("opt pipeline:      %d inlined, %d loops unrolled, %d hoisted\n",
+			res.Opt.Inlined, res.Opt.Unrolled, res.Opt.Hoisted)
+		var comp, spec, copies int
+		for _, fc := range res.Funcs {
+			comp += fc.CompOps
+			spec += fc.SpecLoads
+			copies += fc.CopyOps
+		}
+		fmt.Printf("trace scheduling:  %d compensation ops, %d speculative loads, %d cross-bank copies\n",
+			comp, spec, copies)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command tracesim compiles and executes MF source on the TRACE simulator,
+// reporting performance counters (and optionally a PC trace).
+//
+// Usage:
+//
+//	tracesim [-pairs N] [-O level] [-profile] [-trace] [-baselines] prog.mf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/multiflow-repro/trace/internal/baseline"
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 4, "I-F board pairs (1, 2, or 4)")
+	olevel := flag.Int("O", 2, "optimization level (0-2)")
+	profRun := flag.Bool("profile", true, "profile-guided trace selection")
+	traceExec := flag.Bool("trace", false, "print taken control transfers")
+	baselines := flag.Bool("baselines", false, "also run the scalar and scoreboard baselines")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := mach.NewConfig(*pairs)
+	var lvl opt.Options
+	switch *olevel {
+	case 0:
+		lvl = opt.None()
+	case 1:
+		lvl = opt.Options{Inline: true, UnrollFactor: 4}
+	default:
+		lvl = opt.Default()
+	}
+	mode := core.ProfileHeuristic
+	if *profRun {
+		mode = core.ProfileRun
+	}
+	res, err := core.Compile(string(src), core.Options{Config: cfg, Opt: lvl, Profile: mode})
+	if err != nil {
+		fatal(err)
+	}
+
+	m := vliw.New(res.Image)
+	if *traceExec {
+		last := -2
+		m.TraceFn = func(pc int, beat int64) {
+			if pc != last+1 {
+				fmt.Fprintf(os.Stderr, "  -> %d @ beat %d\n", pc, beat)
+			}
+			last = pc
+		}
+	}
+	v, out, err := m.Run()
+	fmt.Print(out)
+	if err != nil {
+		fatal(err)
+	}
+	st := &m.Stats
+	fmt.Printf("exit:        %d\n", v)
+	fmt.Printf("machine:     %s\n", cfg.Name)
+	fmt.Printf("beats:       %d (%.2f ms at %d ns/beat)\n", st.Beats,
+		float64(st.Beats)*mach.BeatNs/1e6, mach.BeatNs)
+	fmt.Printf("instrs:      %d   ops: %d (%.2f ops/instr)\n", st.Instrs, st.Ops,
+		float64(st.Ops)/float64(st.Instrs))
+	fmt.Printf("rates:       %.1f MIPS, %.1f MFLOPS (peak %.1f / %.1f)\n",
+		st.MIPS(), st.MFLOPS(), cfg.PeakMIPS(), cfg.PeakMFLOPS())
+	fmt.Printf("memory:      %d refs, %d bank-stall beats\n", st.MemRefs, st.BankStalls)
+	fmt.Printf("speculation: %d speculative loads, %d funny numbers\n", st.SpecLoads, st.SpecFaults)
+	fmt.Printf("icache:      %d misses / %d fetches, %d refill beats\n",
+		st.ICacheMiss, st.ICacheMiss+st.ICacheHits, st.RefillBeats)
+	fmt.Printf("tlb:         %d misses, %d trap beats\n", st.TLBMisses, st.TrapBeats)
+	fmt.Printf("branches:    %d executed, %d taken\n", st.Branches, st.Taken)
+
+	if *baselines {
+		prog, err := lang.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		sc, _, _, err := baseline.Scalar(prog, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		prog2, _ := lang.Compile(string(src))
+		sb, _, _, err := baseline.Scoreboard(prog2, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scalar:      %d beats (TRACE speedup %.2fx)\n", sc.Beats,
+			float64(sc.Beats)/float64(st.Beats))
+		fmt.Printf("scoreboard:  %d beats (speedup over scalar %.2fx)\n", sb.Beats,
+			float64(sc.Beats)/float64(sb.Beats))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracesim:", err)
+	os.Exit(1)
+}

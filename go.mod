@@ -1,0 +1,3 @@
+module github.com/multiflow-repro/trace
+
+go 1.22

@@ -1,0 +1,120 @@
+package alias
+
+import (
+	"github.com/multiflow-repro/trace/internal/ir"
+)
+
+// Builder derives linear address forms while walking a straight-line op
+// sequence (a trace) in order. Registers defined in the sequence by affine
+// ops get symbolic derivations; anything else becomes a fresh opaque
+// variable. Because the walk is in execution order, redefinitions version
+// correctly: after i = i + 1, references through i differ from earlier ones
+// by exactly the constant — the diophantine machinery then resolves unrolled
+// loop references (§6.4.2: "the disambiguator builds derivation trees for
+// array index expressions and attempts to solve the diophantine equations in
+// terms of the loop induction variables").
+type Builder struct {
+	globals map[string]int64 // global name -> absolute address (linker layout)
+	forms   map[ir.Reg]Form
+	gvars   map[string]int
+	nextVar int
+	frame   int // symbolic variable for the frame pointer
+}
+
+// NewBuilder returns a Builder. globals maps global names to their absolute
+// addresses from ir.LayoutGlobals (known because the compiler and linker
+// cooperate); pass nil to treat global bases as symbolic.
+func NewBuilder(globals map[string]int64) *Builder {
+	b := &Builder{globals: globals, forms: map[ir.Reg]Form{}}
+	b.frame = b.fresh()
+	return b
+}
+
+func (b *Builder) fresh() int {
+	b.nextVar++
+	return b.nextVar
+}
+
+// FormOf returns the current linear form of a register (creating an opaque
+// variable for registers never seen before, e.g. trace live-ins).
+func (b *Builder) FormOf(r ir.Reg) Form {
+	if f, ok := b.forms[r]; ok {
+		return f
+	}
+	f := VarForm(b.fresh())
+	b.forms[r] = f
+	return f
+}
+
+// RefOf returns the disambiguation Ref for a memory op (Load, LoadSpec, or
+// Store) at the Builder's current position. Call it before Note(op).
+func (b *Builder) RefOf(op *ir.Op) Ref {
+	base := b.FormOf(op.Args[0])
+	return Ref{Addr: base.Add(ConstForm(op.ImmI)), Size: op.Type.Size()}
+}
+
+// Note updates derivations for one op, in execution order.
+func (b *Builder) Note(op *ir.Op) {
+	if op.Dst == ir.None {
+		return
+	}
+	switch op.Kind {
+	case ir.ConstI:
+		b.forms[op.Dst] = ConstForm(op.ImmI)
+	case ir.Mov:
+		if op.Type == ir.I32 {
+			b.forms[op.Dst] = b.FormOf(op.Args[0])
+		} else {
+			b.opaque(op.Dst)
+		}
+	case ir.Add:
+		b.forms[op.Dst] = b.FormOf(op.Args[0]).Add(b.FormOf(op.Args[1]))
+	case ir.Sub:
+		b.forms[op.Dst] = b.FormOf(op.Args[0]).Sub(b.FormOf(op.Args[1]))
+	case ir.Mul:
+		x, y := b.FormOf(op.Args[0]), b.FormOf(op.Args[1])
+		switch {
+		case x.IsConst():
+			b.forms[op.Dst] = y.Scale(x.Const)
+		case y.IsConst():
+			b.forms[op.Dst] = x.Scale(y.Const)
+		default:
+			b.opaque(op.Dst)
+		}
+	case ir.Shl:
+		x, y := b.FormOf(op.Args[0]), b.FormOf(op.Args[1])
+		if y.IsConst() && y.Const >= 0 && y.Const < 31 {
+			b.forms[op.Dst] = x.Scale(1 << uint(y.Const))
+		} else {
+			b.opaque(op.Dst)
+		}
+	case ir.Neg:
+		b.forms[op.Dst] = b.FormOf(op.Args[0]).Scale(-1)
+	case ir.GAddr:
+		if addr, ok := b.globals[op.Sym]; ok {
+			b.forms[op.Dst] = ConstForm(addr)
+		} else {
+			// symbolic but stable: same global always maps to same variable
+			b.forms[op.Dst] = VarForm(b.globalVar(op.Sym))
+		}
+	case ir.FrAddr:
+		b.forms[op.Dst] = VarForm(b.frame).Add(ConstForm(op.ImmI))
+	default:
+		b.opaque(op.Dst)
+	}
+}
+
+func (b *Builder) opaque(r ir.Reg) { b.forms[r] = VarForm(b.fresh()) }
+
+func (b *Builder) globalVar(sym string) int {
+	// deterministic per-builder variable for an unlocated global
+	if b.gvars == nil {
+		b.gvars = map[string]int{}
+	}
+	if v, ok := b.gvars[sym]; ok {
+		return v
+	}
+	v := b.fresh()
+	b.gvars[sym] = v
+	return v
+}

@@ -1,0 +1,110 @@
+package alias
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randForm builds a small random linear form over a few variables.
+func randForm(rng *rand.Rand) Form {
+	f := ConstForm(int64(rng.Intn(4096) - 2048))
+	for v := 1; v <= 3; v++ {
+		if rng.Intn(2) == 0 {
+			f = f.Add(VarForm(v).Scale(int64(rng.Intn(64) - 32)))
+		}
+	}
+	return f
+}
+
+// TestMayAliasProperties: symmetry, reflexivity, and soundness against a
+// brute-force evaluation over small variable assignments.
+func TestMayAliasProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sizes := []int64{4, 8}
+	for trial := 0; trial < 3000; trial++ {
+		a := Ref{Addr: randForm(rng), Size: sizes[rng.Intn(2)]}
+		b := Ref{Addr: randForm(rng), Size: sizes[rng.Intn(2)]}
+		ab := MayAlias(a, b)
+		ba := MayAlias(b, a)
+		// symmetry
+		if (ab == No) != (ba == No) {
+			t.Fatalf("asymmetric: %v vs %v for %s / %s", ab, ba, a.Addr, b.Addr)
+		}
+		// reflexivity: a ref always aliases itself
+		if MayAlias(a, a) == No {
+			t.Fatalf("ref does not alias itself: %s", a.Addr)
+		}
+		// soundness: if a "No", then no assignment of the variables in a
+		// small range produces overlap
+		if ab == No {
+			eval := func(f Form, v1, v2, v3 int64) int64 {
+				r := f.Const
+				r += f.Terms[1] * v1
+				r += f.Terms[2] * v2
+				r += f.Terms[3] * v3
+				return r
+			}
+			for probe := 0; probe < 60; probe++ {
+				v1 := int64(rng.Intn(41) - 20)
+				v2 := int64(rng.Intn(41) - 20)
+				v3 := int64(rng.Intn(41) - 20)
+				x := eval(a.Addr, v1, v2, v3)
+				y := eval(b.Addr, v1, v2, v3)
+				if x < y+b.Size && y < x+a.Size {
+					t.Fatalf("unsound No: %s=%d / %s=%d overlap (v=%d,%d,%d)",
+						a.Addr, x, b.Addr, y, v1, v2, v3)
+				}
+			}
+		}
+	}
+}
+
+// TestSameBankSoundness: a "No" must mean no assignment lands the two
+// references in the same bank-congruence granule.
+func TestSameBankSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const mod = 64
+	for trial := 0; trial < 3000; trial++ {
+		a := Ref{Addr: randForm(rng), Size: 8}
+		b := Ref{Addr: randForm(rng), Size: 8}
+		if SameBank(a, b, mod) != No {
+			continue
+		}
+		eval := func(f Form, v1, v2, v3 int64) int64 {
+			return f.Const + f.Terms[1]*v1 + f.Terms[2]*v2 + f.Terms[3]*v3
+		}
+		for probe := 0; probe < 60; probe++ {
+			v1 := int64(rng.Intn(41) - 20)
+			v2 := int64(rng.Intn(41) - 20)
+			v3 := int64(rng.Intn(41) - 20)
+			d := eval(a.Addr, v1, v2, v3) - eval(b.Addr, v1, v2, v3)
+			m := ((d % mod) + mod) % mod
+			if m == 0 {
+				t.Fatalf("unsound bank No: %s vs %s, diff %d ≡ 0 mod %d",
+					a.Addr, b.Addr, d, mod)
+			}
+		}
+	}
+}
+
+// TestFormAlgebraQuick: Add/Sub/Scale behave like affine arithmetic under
+// evaluation.
+func TestFormAlgebraQuick(t *testing.T) {
+	f := func(c1, c2 int16, k1, k2 int8, v int16) bool {
+		a := ConstForm(int64(c1)).Add(VarForm(1).Scale(int64(k1)))
+		b := ConstForm(int64(c2)).Add(VarForm(1).Scale(int64(k2)))
+		eval := func(f Form, x int64) int64 { return f.Const + f.Terms[1]*x }
+		x := int64(v)
+		if eval(a.Add(b), x) != eval(a, x)+eval(b, x) {
+			return false
+		}
+		if eval(a.Sub(b), x) != eval(a, x)-eval(b, x) {
+			return false
+		}
+		return eval(a.Scale(3), x) == 3*eval(a, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package core is the compiler driver: it runs the full pipeline from MF
+// source (or IR) through classical optimization, profiling, trace
+// scheduling, register allocation, and linking, producing an executable
+// image for the vliw simulator. This is the public engine behind the
+// top-level trace package and the cmd tools.
+package core
+
+import (
+	"fmt"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/profile"
+	"github.com/multiflow-repro/trace/internal/tsched"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// ProfileMode selects how branch probabilities are estimated (§4:
+// "heuristics or profiling").
+type ProfileMode int
+
+const (
+	// ProfileHeuristic uses static loop-depth heuristics.
+	ProfileHeuristic ProfileMode = iota
+	// ProfileRun executes the program in the IR interpreter first and feeds
+	// the measured edge counts to trace selection.
+	ProfileRun
+)
+
+// Options configures a compilation.
+type Options struct {
+	Config  mach.Config
+	Opt     opt.Options
+	Profile ProfileMode
+	// MaxTraceBlocks caps trace length (0 = unlimited). 1 restricts the
+	// code generator to basic-block compaction — the ablation §10 proposes
+	// ("quantifying the speedups due to trace scheduling vs. those achieved
+	// by more universal compiler optimizations").
+	MaxTraceBlocks int
+}
+
+// DefaultOptions compiles for the 4-pair TRACE 28/200 at full optimization
+// with heuristic profiles.
+func DefaultOptions() Options {
+	return Options{Config: mach.Trace28(), Opt: opt.Default(), Profile: ProfileHeuristic}
+}
+
+// Result is a completed compilation.
+type Result struct {
+	Image    *isa.Image
+	Funcs    []*tsched.FuncCode
+	Opt      opt.Stats
+	Profile  ir.Profile
+	OptIR    *ir.Program // the optimized IR actually scheduled
+	SourceIR *ir.Program // the unoptimized reference IR
+}
+
+// Compile compiles MF source text.
+func Compile(src string, opts Options) (*Result, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileIR(prog, opts)
+}
+
+// CompileIR compiles an IR program (which is not modified).
+func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{SourceIR: prog}
+
+	// Retry with gentler unrolling if a register bank overflows: the
+	// paper's compiler tunes its heuristics for exactly this reason (§8.4).
+	optCfg := opts.Opt
+	for attempt := 0; ; attempt++ {
+		work := prog.Clone()
+		res.Opt = opt.Run(work, optCfg)
+		switch opts.Profile {
+		case ProfileRun:
+			res.Profile = profile.FromRun(work)
+		default:
+			res.Profile = profile.Static(work)
+		}
+		codes, err := tsched.CompileWithLimit(work, opts.Config, res.Profile, opts.MaxTraceBlocks)
+		if err != nil {
+			var ep *tsched.ErrPressure
+			if asPressure(err, &ep) && optCfg.UnrollFactor > 1 {
+				optCfg.UnrollFactor /= 2
+				continue
+			}
+			if asPressure(err, &ep) && optCfg.Inline {
+				optCfg.Inline = false
+				continue
+			}
+			return nil, fmt.Errorf("schedule: %w", err)
+		}
+		img, err := isa.Link(work, codes, opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		res.Funcs = codes
+		res.OptIR = work
+		res.Image = img
+		return res, nil
+	}
+}
+
+func asPressure(err error, out **tsched.ErrPressure) bool {
+	for err != nil {
+		if ep, ok := err.(*tsched.ErrPressure); ok {
+			*out = ep
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Run executes the compiled image on a fresh machine and returns the exit
+// value, output, and statistics.
+func Run(res *Result) (int32, string, *vliw.Stats, error) {
+	m := vliw.New(res.Image)
+	v, out, err := m.Run()
+	return v, out, &m.Stats, err
+}
+
+// RunSource is the one-call convenience: compile and run, returning the
+// machine too for stats inspection.
+func RunSource(src string, opts Options) (int32, string, *vliw.Machine, error) {
+	res, err := Compile(src, opts)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	m := vliw.New(res.Image)
+	v, out, err := m.Run()
+	return v, out, m, err
+}
+
+// Interpret runs the reference interpreter on the unoptimized IR.
+func Interpret(res *Result) (int32, string, error) {
+	in := &ir.Interp{Prog: res.SourceIR}
+	return in.Run()
+}

@@ -1,0 +1,37 @@
+package ir
+
+// Clone returns a deep copy of the program. The backend mutates the IR it
+// compiles (call-spill insertion, optimization), so drivers clone before
+// compiling and keep the original as the reference-semantics artifact.
+func (p *Program) Clone() *Program {
+	out := &Program{}
+	for _, g := range p.Globals {
+		ng := *g
+		ng.InitI = append([]int64(nil), g.InitI...)
+		ng.InitF = append([]float64(nil), g.InitF...)
+		out.Globals = append(out.Globals, &ng)
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, f.Clone())
+	}
+	return out
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:      f.Name,
+		Params:    append([]Param(nil), f.Params...),
+		Ret:       f.Ret,
+		regType:   append([]Type(nil), f.regType...),
+		FrameSize: f.FrameSize,
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Ops: make([]Op, len(b.Ops))}
+		for i := range b.Ops {
+			nb.Ops[i] = b.Ops[i].Clone()
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}

@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRegSetProperties checks the bit-set algebra with testing/quick.
+func TestRegSetProperties(t *testing.T) {
+	add := func(regs []uint16) bool {
+		s := NewRegSet(1 << 16)
+		want := map[Reg]bool{}
+		for _, r := range regs {
+			rr := Reg(r)
+			s.Add(rr)
+			if rr > 0 {
+				want[rr] = true
+			}
+		}
+		if s.Count() != len(want) {
+			return false
+		}
+		for r := range want {
+			if !s.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+
+	unionMonotone := func(a, b []uint16) bool {
+		s1 := NewRegSet(1 << 16)
+		s2 := NewRegSet(1 << 16)
+		for _, r := range a {
+			s1.Add(Reg(r))
+		}
+		for _, r := range b {
+			s2.Add(Reg(r))
+		}
+		before := s1.Count()
+		s1.UnionWith(s2)
+		if s1.Count() < before {
+			return false
+		}
+		// union contains both
+		for _, r := range a {
+			if Reg(r) > 0 && !s1.Has(Reg(r)) {
+				return false
+			}
+		}
+		for _, r := range b {
+			if Reg(r) > 0 && !s1.Has(Reg(r)) {
+				return false
+			}
+		}
+		// idempotent
+		return !s1.UnionWith(s2)
+	}
+	if err := quick.Check(unionMonotone, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomCFG builds a structurally valid function with random branches.
+func randomCFG(rng *rand.Rand, nBlocks int) *Func {
+	f := NewFunc("r", I32)
+	for i := 1; i < nBlocks; i++ {
+		f.AddBlock()
+	}
+	c := f.NewReg(I32)
+	f.Blocks[0].Ops = append(f.Blocks[0].Ops, Op{Kind: ConstI, Type: I32, Dst: c})
+	for i, b := range f.Blocks {
+		if i == 0 {
+			b.Ops = append(b.Ops, Op{Kind: Br, T0: rng.Intn(nBlocks)})
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			b.Ops = append(b.Ops, Op{Kind: Ret, Args: []Reg{c}})
+		case 1:
+			b.Ops = append(b.Ops, Op{Kind: Br, T0: rng.Intn(nBlocks)})
+		default:
+			b.Ops = append(b.Ops, Op{Kind: CondBr, Args: []Reg{c},
+				T0: rng.Intn(nBlocks), T1: rng.Intn(nBlocks)})
+		}
+	}
+	return f
+}
+
+// TestDominatorProperties: on random CFGs, the entry dominates every
+// reachable block, idom is a proper ancestor, and loop bodies contain their
+// headers and latches.
+func TestDominatorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		f := randomCFG(rng, 2+rng.Intn(12))
+		reach := f.Reachable()
+		idom := f.Idom()
+		for b := range f.Blocks {
+			if !reach[b] {
+				continue
+			}
+			if !Dominates(idom, 0, b) {
+				t.Fatalf("trial %d: entry does not dominate reachable b%d", trial, b)
+			}
+			if b != 0 && idom[b] == b {
+				t.Fatalf("trial %d: b%d is its own idom", trial, b)
+			}
+		}
+		for _, l := range f.NaturalLoops() {
+			if !l.Body[l.Head] {
+				t.Fatalf("trial %d: loop body missing its header", trial)
+			}
+			for _, latch := range l.Latches {
+				if !l.Body[latch] {
+					t.Fatalf("trial %d: latch outside body", trial)
+				}
+				if !Dominates(idom, l.Head, latch) {
+					t.Fatalf("trial %d: header does not dominate latch", trial)
+				}
+			}
+			// every exit leaves from inside
+			for _, e := range l.Exits(f) {
+				if !l.Body[e[0]] || l.Body[e[1]] {
+					t.Fatalf("trial %d: bad exit %v", trial, e)
+				}
+			}
+		}
+		// RemoveUnreachable keeps semantics of the reachable part
+		n := 0
+		for _, r := range reach {
+			if r {
+				n++
+			}
+		}
+		f.RemoveUnreachable()
+		if len(f.Blocks) != n {
+			t.Fatalf("trial %d: RemoveUnreachable kept %d of %d", trial, len(f.Blocks), n)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid after cleanup: %v", trial, err)
+		}
+	}
+}
+
+// TestLivenessProperties: a register is live-in wherever it is used before
+// definition, and never live where it is not referenced downstream.
+func TestLivenessProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		f := randomCFG(rng, 2+rng.Intn(8))
+		lv := f.ComputeLiveness()
+		// entry live-in must be empty except the shared const (defined
+		// before use in block 0, so not live-in)
+		if lv.In[0].Count() != 0 {
+			t.Fatalf("trial %d: entry has live-ins", trial)
+		}
+		// live-out(b) ⊆ ∪ live-in(succ)
+		for _, b := range f.Blocks {
+			u := NewRegSet(f.NumRegs())
+			for _, s := range b.Succs() {
+				u.UnionWith(lv.In[s])
+			}
+			for w := range lv.Out[b.ID] {
+				if lv.Out[b.ID][w]&^u[w] != 0 {
+					t.Fatalf("trial %d: live-out exceeds successors' live-in", trial)
+				}
+			}
+		}
+	}
+}

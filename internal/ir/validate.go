@@ -1,0 +1,233 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural invariants of the function:
+//   - Blocks[i].ID == i
+//   - every block ends with exactly one terminator, and only the last op is one
+//   - branch targets are in range
+//   - register operands are allocated and type-consistent with the op
+//
+// Passes call Validate in tests after every transformation; the zero cost of
+// catching a malformed CFG here is far below the cost of debugging it in the
+// scheduler.
+func (f *Func) Validate() error {
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("%s: block at index %d has ID %d", f.Name, i, b.ID)
+		}
+		if len(b.Ops) == 0 {
+			return fmt.Errorf("%s: b%d is empty", f.Name, b.ID)
+		}
+		for j := range b.Ops {
+			o := &b.Ops[j]
+			if o.Kind.IsTerminator() != (j == len(b.Ops)-1) {
+				return fmt.Errorf("%s: b%d op %d (%s): terminator placement", f.Name, b.ID, j, o)
+			}
+			if err := f.checkOp(o); err != nil {
+				return fmt.Errorf("%s: b%d op %d: %w", f.Name, b.ID, j, err)
+			}
+		}
+		t := b.Term()
+		switch t.Kind {
+		case Br:
+			if t.T0 < 0 || t.T0 >= len(f.Blocks) {
+				return fmt.Errorf("%s: b%d: br target b%d out of range", f.Name, b.ID, t.T0)
+			}
+		case CondBr:
+			if t.T0 < 0 || t.T0 >= len(f.Blocks) || t.T1 < 0 || t.T1 >= len(f.Blocks) {
+				return fmt.Errorf("%s: b%d: condbr target out of range", f.Name, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) checkReg(r Reg, want Type, what string) error {
+	if r == None {
+		return fmt.Errorf("%s: missing register", what)
+	}
+	got := f.RegType(r)
+	if got == Void {
+		return fmt.Errorf("%s: register %s not allocated", what, r)
+	}
+	if want != Void && got != want {
+		return fmt.Errorf("%s: register %s is %s, want %s", what, r, got, want)
+	}
+	return nil
+}
+
+func (f *Func) checkOp(o *Op) error {
+	argn := func(n int) error {
+		if len(o.Args) != n {
+			return fmt.Errorf("%s: have %d args, want %d", o.Kind, len(o.Args), n)
+		}
+		return nil
+	}
+	bin := func(t Type) error {
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[0], t, "arg0"); err != nil {
+			return err
+		}
+		return f.checkReg(o.Args[1], t, "arg1")
+	}
+	un := func(t Type) error {
+		if err := argn(1); err != nil {
+			return err
+		}
+		return f.checkReg(o.Args[0], t, "arg0")
+	}
+	dst := func(t Type) error { return f.checkReg(o.Dst, t, "dst") }
+
+	switch o.Kind {
+	case Nop:
+		return nil
+	case ConstI:
+		return dst(I32)
+	case ConstF:
+		return dst(F64)
+	case Mov:
+		if err := un(o.Type); err != nil {
+			return err
+		}
+		return dst(o.Type)
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra:
+		if err := bin(I32); err != nil {
+			return err
+		}
+		return dst(I32)
+	case Neg, Not:
+		if err := un(I32); err != nil {
+			return err
+		}
+		return dst(I32)
+	case CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE:
+		if err := bin(I32); err != nil {
+			return err
+		}
+		return dst(I32)
+	case FAdd, FSub, FMul, FDiv:
+		if err := bin(F64); err != nil {
+			return err
+		}
+		return dst(F64)
+	case FNeg:
+		if err := un(F64); err != nil {
+			return err
+		}
+		return dst(F64)
+	case FCmpEQ, FCmpNE, FCmpLT, FCmpLE, FCmpGT, FCmpGE:
+		if err := bin(F64); err != nil {
+			return err
+		}
+		return dst(I32)
+	case ItoF:
+		if err := un(I32); err != nil {
+			return err
+		}
+		return dst(F64)
+	case FtoI:
+		if err := un(F64); err != nil {
+			return err
+		}
+		return dst(I32)
+	case Select:
+		if err := argn(3); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[0], I32, "cond"); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[1], o.Type, "then"); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[2], o.Type, "else"); err != nil {
+			return err
+		}
+		return dst(o.Type)
+	case Load, LoadSpec:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[0], I32, "addr"); err != nil {
+			return err
+		}
+		if o.Type != I32 && o.Type != F64 {
+			return fmt.Errorf("load: bad element type %s", o.Type)
+		}
+		return dst(o.Type)
+	case Store:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := f.checkReg(o.Args[0], I32, "addr"); err != nil {
+			return err
+		}
+		if o.Type != I32 && o.Type != F64 {
+			return fmt.Errorf("store: bad element type %s", o.Type)
+		}
+		return f.checkReg(o.Args[1], o.Type, "value")
+	case GAddr, FrAddr:
+		return dst(I32)
+	case Call:
+		for i, a := range o.Args {
+			if err := f.checkReg(a, Void, fmt.Sprintf("arg%d", i)); err != nil {
+				return err
+			}
+		}
+		if o.Dst != None {
+			return f.checkReg(o.Dst, Void, "dst")
+		}
+		return nil
+	case Ret:
+		if len(o.Args) > 1 {
+			return fmt.Errorf("ret: too many args")
+		}
+		if len(o.Args) == 1 {
+			return f.checkReg(o.Args[0], f.Ret, "ret value")
+		}
+		return nil
+	case Br:
+		return argn(0)
+	case CondBr:
+		if err := argn(1); err != nil {
+			return err
+		}
+		return f.checkReg(o.Args[0], I32, "cond")
+	}
+	return fmt.Errorf("unknown op kind %d", o.Kind)
+}
+
+// Validate checks every function in the program and that the entry function
+// main exists, returns i32 and takes no parameters.
+func (p *Program) Validate() error {
+	seen := map[string]bool{}
+	for _, g := range p.Globals {
+		if seen["g:"+g.Name] {
+			return fmt.Errorf("duplicate global %s", g.Name)
+		}
+		seen["g:"+g.Name] = true
+		if g.Count <= 0 {
+			return fmt.Errorf("global %s: count %d", g.Name, g.Count)
+		}
+	}
+	for _, f := range p.Funcs {
+		if seen["f:"+f.Name] {
+			return fmt.Errorf("duplicate function %s", f.Name)
+		}
+		seen["f:"+f.Name] = true
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	m := p.Func("main")
+	if m == nil {
+		return fmt.Errorf("no main function")
+	}
+	if m.Ret != I32 || len(m.Params) != 0 {
+		return fmt.Errorf("main must be func main() int")
+	}
+	return nil
+}

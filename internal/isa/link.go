@@ -1,0 +1,180 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/tsched"
+)
+
+// Image is a linked, encoded executable: the instruction stream (both in
+// fixed-width and §6.5.1 packed form), symbol bases, and the data layout.
+// The simulator executes Instrs, which are produced by *decoding* the
+// encoded words, so every run exercises the Figure-3 round trip.
+type Image struct {
+	Cfg    mach.Config
+	Instrs []mach.Instr // decoded instructions; index = instruction address
+	Words  [][]uint32   // fixed-width encoding per instruction
+	Packed []uint32     // variable-length mask-word representation
+
+	Entry      int // address of main's first instruction
+	FuncBase   map[string]int
+	FuncLen    map[string]int
+	GlobalAddr map[string]int64
+	DataTop    int64
+
+	prog *ir.Program
+}
+
+// Link lays out the compiled functions and globals, resolves branch targets
+// and global-address relocations, encodes every instruction, verifies the
+// encode/decode round trip, and returns the executable image.
+func Link(prog *ir.Program, funcs []*tsched.FuncCode, cfg mach.Config) (*Image, error) {
+	img := &Image{
+		Cfg:      cfg,
+		FuncBase: map[string]int{},
+		FuncLen:  map[string]int{},
+		prog:     prog,
+	}
+	img.GlobalAddr, img.DataTop = ir.LayoutGlobals(prog)
+
+	base := 0
+	for _, fc := range funcs {
+		img.FuncBase[fc.Name] = base
+		img.FuncLen[fc.Name] = len(fc.Instrs)
+		base += len(fc.Instrs)
+	}
+	mainBase, ok := img.FuncBase["main"]
+	if !ok {
+		return nil, errf("link: no main function")
+	}
+	img.Entry = mainBase
+
+	for _, fc := range funcs {
+		fb := img.FuncBase[fc.Name]
+		for ii := range fc.Instrs {
+			in := cloneInstr(&fc.Instrs[ii])
+			for si := range in.Slots {
+				op := &in.Slots[si].Op
+				switch op.Kind {
+				case mach.OpJmp, mach.OpBrT:
+					op.Target += fb
+				case mach.OpCall:
+					tb, ok := img.FuncBase[op.Sym]
+					if !ok {
+						return nil, errf("link: %s calls undefined %s", fc.Name, op.Sym)
+					}
+					op.Target = tb
+				}
+				if err := resolveArgs(op, img.GlobalAddr); err != nil {
+					return nil, fmt.Errorf("link: %s: %w", fc.Name, err)
+				}
+			}
+			if cfg.Ideal {
+				// The Figure-1 "ideal VLIW" has a central register file and
+				// unlimited ports; its schedules are intentionally not
+				// encodable in the Figure-3 format. Execute it directly.
+				img.Instrs = append(img.Instrs, in)
+				continue
+			}
+			words, err := Encode(&in, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("link: %s instr %d (%s): %w", fc.Name, ii, in.String(), err)
+			}
+			dec, err := Decode(words, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("link: %s instr %d: decode: %w", fc.Name, ii, err)
+			}
+			// round-trip integrity: re-encoding the decoded instruction
+			// must reproduce the words bit for bit
+			re, err := Encode(dec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("link: %s instr %d: re-encode: %w\noriginal: %s\ndecoded: %s",
+					fc.Name, ii, err, in.String(), dec.String())
+			}
+			for w := range words {
+				if words[w] != re[w] {
+					return nil, errf("link: %s instr %d: word %d round-trip mismatch %08x != %08x\noriginal: %s\ndecoded: %s",
+						fc.Name, ii, w, words[w], re[w], in.String(), dec.String())
+				}
+			}
+			img.Instrs = append(img.Instrs, *dec)
+			img.Words = append(img.Words, words)
+		}
+	}
+	if !cfg.Ideal {
+		img.Packed = Pack(img.Words, cfg)
+	}
+	return img, nil
+}
+
+func cloneInstr(in *mach.Instr) mach.Instr {
+	out := mach.Instr{Slots: make([]mach.SlotOp, len(in.Slots))}
+	copy(out.Slots, in.Slots)
+	return out
+}
+
+// resolveArgs replaces symbol-relative immediates with absolute addresses.
+func resolveArgs(op *mach.Op, gaddr map[string]int64) error {
+	for _, a := range []*mach.Arg{&op.A, &op.B, &op.C} {
+		if !a.IsImm || a.Sym == "" {
+			continue
+		}
+		addr, ok := gaddr[a.Sym]
+		if !ok {
+			return errf("undefined global %q", a.Sym)
+		}
+		a.Imm = int32(addr)
+		a.Sym = ""
+	}
+	return nil
+}
+
+// RequiredMem returns the minimum data memory size for the image.
+func (img *Image) RequiredMem() int64 {
+	min := img.DataTop + 1<<16 // headroom for stack
+	if min < 1<<20 {
+		min = 1 << 20
+	}
+	return min
+}
+
+// InitMem writes the globals' initial values into a data memory, using the
+// same layout the compiler's disambiguator assumed.
+func (img *Image) InitMem(mem []byte) error {
+	if int64(len(mem)) < img.DataTop {
+		return errf("memory too small for globals")
+	}
+	for _, g := range img.prog.Globals {
+		base := img.GlobalAddr[g.Name]
+		for i, v := range g.InitI {
+			binary.LittleEndian.PutUint32(mem[base+int64(i)*4:], uint32(v))
+		}
+		for i, v := range g.InitF {
+			binary.LittleEndian.PutUint64(mem[base+int64(i)*8:], math.Float64bits(v))
+		}
+	}
+	return nil
+}
+
+// CodeSizes reports the fixed and packed code sizes in bytes, and the
+// operation count (for bytes-per-op comparisons in experiment E3).
+func (img *Image) CodeSizes() (fixed, packed int64, ops int) {
+	for i := range img.Instrs {
+		for range img.Instrs[i].Slots {
+			ops++
+		}
+	}
+	return FixedSize(len(img.Instrs), img.Cfg), PackedSize(img.Packed), ops
+}
+
+// Disassemble renders the instruction at the given address.
+func (img *Image) Disassemble(addr int) string {
+	if addr < 0 || addr >= len(img.Instrs) {
+		return fmt.Sprintf("%6d: <out of range>", addr)
+	}
+	return fmt.Sprintf("%6d: %s", addr, img.Instrs[addr].String())
+}

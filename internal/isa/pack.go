@@ -1,0 +1,70 @@
+package isa
+
+import "github.com/multiflow-repro/trace/internal/mach"
+
+// The §6.5.1 variable-length main-memory representation: "We store
+// instructions in main memory in blocks of four. Each block is preceded by
+// four 32-bit mask words, which specify which 32-bit fields of the
+// instruction are present in the block; the others are filled in the cache
+// with zeros (no-ops)."
+//
+// An instruction word count of 8×pairs ≤ 32 means one mask word per
+// instruction exactly covers it.
+
+// Pack compresses fixed-width instructions into the mask-word format.
+func Pack(words [][]uint32, cfg mach.Config) []uint32 {
+	wpi := WordsPerPair * cfg.Pairs
+	var out []uint32
+	for blk := 0; blk < len(words); blk += 4 {
+		masks := make([]uint32, 4)
+		var payload []uint32
+		for i := 0; i < 4; i++ {
+			if blk+i >= len(words) {
+				continue
+			}
+			w := words[blk+i]
+			for j := 0; j < wpi; j++ {
+				if w[j] != 0 {
+					masks[i] |= 1 << uint(j)
+					payload = append(payload, w[j])
+				}
+			}
+		}
+		out = append(out, masks...)
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// Unpack expands the mask-word format back to fixed-width instructions.
+// n is the instruction count.
+func Unpack(packed []uint32, n int, cfg mach.Config) [][]uint32 {
+	wpi := WordsPerPair * cfg.Pairs
+	out := make([][]uint32, 0, n)
+	pos := 0
+	for len(out) < n {
+		masks := packed[pos : pos+4]
+		pos += 4
+		for i := 0; i < 4 && len(out) < n; i++ {
+			w := make([]uint32, wpi)
+			for j := 0; j < wpi; j++ {
+				if masks[i]&(1<<uint(j)) != 0 {
+					w[j] = packed[pos]
+					pos++
+				}
+			}
+			out = append(out, w)
+		}
+		// skip payload of block slots beyond n (none: masks for absent
+		// instructions are zero)
+	}
+	return out
+}
+
+// PackedSize returns the packed representation's size in bytes.
+func PackedSize(packed []uint32) int64 { return int64(len(packed)) * 4 }
+
+// FixedSize returns the fixed-width size in bytes of n instructions.
+func FixedSize(n int, cfg mach.Config) int64 {
+	return int64(n) * int64(WordsPerPair*cfg.Pairs) * 4
+}

@@ -1,0 +1,229 @@
+package lang
+
+// AST node definitions. Types are resolved in place during checking: every
+// Expr carries a T field filled in by the checker.
+
+// TypeKind classifies MF types.
+type TypeKind int
+
+const (
+	TInvalid TypeKind = iota
+	TInt              // i32
+	TFloat            // f64
+	TArray            // [N]elem, storage type
+	TRef              // []elem, reference to array storage (an address)
+	TVoid
+)
+
+// Type is an MF type. Arrays carry their element kind and length; references
+// carry only the element kind.
+type Type struct {
+	Kind TypeKind
+	Elem TypeKind // for TArray, TRef: TInt or TFloat
+	N    int64    // for TArray
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TArray:
+		if t.Elem == TInt {
+			return "[N]int"
+		}
+		return "[N]float"
+	case TRef:
+		if t.Elem == TInt {
+			return "[]int"
+		}
+		return "[]float"
+	case TVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// Equal reports type identity (array lengths included).
+func (t Type) Equal(u Type) bool { return t == u }
+
+// Scalar reports whether t is int or float.
+func (t Type) Scalar() bool { return t.Kind == TInt || t.Kind == TFloat }
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Common expression header.
+type exprBase struct {
+	Line int
+	T    Type // set by the checker
+}
+
+func (exprBase) exprNode() {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// Ident references a variable (local, parameter, or global).
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Arr   Expr
+	Index Expr
+}
+
+// Unary is op x for op in - ! ~.
+type Unary struct {
+	exprBase
+	Op Kind
+	X  Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	exprBase
+	Op   Kind
+	X, Y Expr
+}
+
+// Cond is c ? a : b. Both arms are evaluated; it lowers to the machine's
+// SELECT operation rather than a branch (§6.2 of the paper).
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// Call is f(args...). Casts int(x) and float(x) are parsed as Cast, not Call.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Cast is int(x) or float(x).
+type Cast struct {
+	exprBase
+	To Kind // KINT or KFLOAT
+	X  Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type stmtBase struct{ Line int }
+
+func (stmtBase) stmtNode() {}
+
+// VarStmt declares a local variable, optionally initialized.
+type VarStmt struct {
+	stmtBase
+	Name string
+	Type Type
+	Init Expr // nil for arrays and default-zero scalars
+}
+
+// AssignStmt is lvalue = expr, where lvalue is Ident or Index.
+type AssignStmt struct {
+	stmtBase
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is if (cond) then [else els].
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for (init; cond; post) body. Init and Post are assignments or
+// var declarations; any of the three clauses may be empty.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // nil, *VarStmt or *AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // nil or *AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns the optional value.
+type ReturnStmt struct {
+	stmtBase
+	Val Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ stmtBase }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type // TVoid if none
+	Body   *BlockStmt
+	Line   int
+}
+
+// GlobalDecl is a top-level var.
+type GlobalDecl struct {
+	Name  string
+	Type  Type
+	InitI int64   // scalar int initializer
+	InitF float64 // scalar float initializer
+	// Array initializers
+	InitListI []int64
+	InitListF []float64
+	HasInit   bool
+	Line      int
+}
+
+// File is a parsed source file.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

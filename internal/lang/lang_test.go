@@ -1,0 +1,364 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+)
+
+// run compiles src and executes it in the IR interpreter.
+func run(t *testing.T, src string) (int32, string) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := &ir.Interp{Prog: prog}
+	v, out, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func f(x int) int { return x << 2 } // comment\nvar y float = 1.5e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{KFUNC, IDENT, LPAREN, IDENT, KINT, RPAREN, KINT, LBRACE,
+		KRETURN, IDENT, SHL, INTLIT, RBRACE, KVAR, IDENT, KFLOAT, ASSIGN, FLOATLIT, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if toks[17].Flt != 150 {
+		t.Errorf("float literal = %v", toks[17].Flt)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "9999999999999999999", "1.5ee2"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	v, _ := run(t, `
+func main() int {
+	return 2 + 3 * 4 - 10 / 2 % 3 + (1 << 4) - (65 >> 2) + (7 & 5) + (1 | 8) - (6 ^ 3)
+}`)
+	// 2+12-2+16-16+5+9-5 = 21
+	if v != 21 {
+		t.Errorf("got %d, want 21", v)
+	}
+}
+
+func TestFloatsAndCasts(t *testing.T) {
+	v, out := run(t, `
+func main() int {
+	var x float = 2.5
+	var y float = float(3)
+	print_f(x * y + 0.5)
+	return int(x * y)
+}`)
+	if v != 7 {
+		t.Errorf("exit = %d, want 7", v)
+	}
+	if out != "8\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	v, _ := run(t, `
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { s = s + i } else { s = s - 1 }
+	}
+	var j int = 0
+	while (j < 3) { s = s + 100; j = j + 1 }
+	return s
+}`)
+	// evens 0..8 sum=20, minus 5 odds => 15, +300 = 315
+	if v != 315 {
+		t.Errorf("got %d, want 315", v)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	v, _ := run(t, `
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 100; i = i + 1) {
+		if (i == 10) { break }
+		if (i % 2 == 1) { continue }
+		s = s + i
+	}
+	return s
+}`)
+	if v != 20 { // 0+2+4+6+8
+		t.Errorf("got %d, want 20", v)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	v, out := run(t, `
+var a [4]int
+func touch(i int) int { a[0] = a[0] + 1; return i }
+func main() int {
+	var x int = 0
+	if (x != 0 && touch(1) == 1) { print_i(-1) }
+	if (x == 0 || touch(2) == 2) { print_i(a[0]) }
+	return a[0]
+}`)
+	if v != 0 {
+		t.Errorf("touch called despite short circuit: a[0]=%d", v)
+	}
+	if out != "0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTernarySelect(t *testing.T) {
+	prog, err := Compile(`
+func main() int {
+	var x int = 5
+	return x > 3 ? x * 2 : x - 1
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// must lower to a SELECT op, not a branch
+	found := false
+	for _, b := range prog.Func("main").Blocks {
+		for _, o := range b.Ops {
+			if o.Kind == ir.Select {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("?: did not lower to SELECT")
+	}
+	in := &ir.Interp{Prog: prog}
+	v, _, _ := in.Run()
+	if v != 10 {
+		t.Errorf("got %d, want 10", v)
+	}
+}
+
+func TestArraysGlobalLocalRef(t *testing.T) {
+	v, out := run(t, `
+var g [8]float = {1, 2, 3, 4, 5, 6, 7, 8}
+var n int = 8
+
+func sum(x []float, n int) float {
+	var s float = 0.0
+	for (var i int = 0; i < n; i = i + 1) { s = s + x[i] }
+	return s
+}
+
+func main() int {
+	var loc [8]float
+	for (var i int = 0; i < n; i = i + 1) { loc[i] = g[i] * 2.0 }
+	print_f(sum(g, n))
+	print_f(sum(loc, n))
+	var p []float = g
+	print_f(p[3])
+	return int(sum(loc, 4))
+}`)
+	if out != "36\n72\n4\n" {
+		t.Errorf("out = %q", out)
+	}
+	if v != 20 {
+		t.Errorf("exit = %d, want 20", v)
+	}
+}
+
+func TestGlobalScalarInit(t *testing.T) {
+	v, _ := run(t, `
+var base int = 40
+var scale float = -2.5
+func main() int {
+	base = base + 2
+	return base + int(scale * -0.8)
+}`)
+	if v != 44 {
+		t.Errorf("got %d, want 44", v)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	v, _ := run(t, `
+func fib(n int) int {
+	if (n < 2) { return n }
+	return fib(n-1) + fib(n-2)
+}
+func main() int { return fib(15) }`)
+	if v != 610 {
+		t.Errorf("fib(15) = %d, want 610", v)
+	}
+}
+
+func TestImplicitReturn(t *testing.T) {
+	v, _ := run(t, `
+func f(x int) int { if (x > 0) { return x } }
+func main() int { return f(5) + f(-5) }`)
+	if v != 5 {
+		t.Errorf("got %d, want 5", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`func main() int { return 1.5 }`, "return"},
+		{`func main() int { return x }`, "undefined"},
+		{`func main() int { var x int = 1; var x int = 2; return x }`, "redeclared"},
+		{`func main() int { return 1 + 1.5 }`, "invalid operands"},
+		{`func main() int { break return 0 }`, "break outside loop"},
+		{`func main() int { return f(1) }`, "undefined function"},
+		{`func f() {} func main() int { return f() }`, "returns no value"},
+		{`func f(x int) int { return x } func main() int { return f(1.0) }`, "argument 1"},
+		{`func f(x int) int { return x } func main() int { return f(1, 2) }`, "argument"},
+		{`func main() int { 3 = 4 return 0 }`, "left side"},
+		{`var a [4]int func main() int { a = a return 0 }`, "cannot assign to array"},
+		{`func main() int { return 1.5 % 2.0 }`, "requires int"},
+		{`func main() float { return 2.0 ? 1.0 : 0.0 }`, "condition must be int"},
+		{`func main() int { if (1) { return 1 } else { return 2 }`, "unterminated"},
+		{`var g [2]float = {1, 2, 3} func main() int { return 0 }`, "too many initializers"},
+		{`func main(x int) int { return x }`, "main"},
+		{`func dup() {} func dup() {} func main() int {return 0}`, "duplicate function"},
+		{`var v int var v int func main() int {return 0}`, "duplicate global"},
+		{`func print_i(x int) {} func main() int {return 0}`, "builtin"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("compile succeeded, want error containing %q:\n%s", c.want, c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not contain %q", err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`func`, `func f(`, `func f() { var }`, `var x [0]int`,
+		`func f(a [4]int) {}`, `var r []int`, `x = 1`,
+		`func f() { for (;; }`, `func f() { if 1 {} }`,
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNestedLoopsMatmul(t *testing.T) {
+	v, _ := run(t, `
+var a [16]float
+var b [16]float
+var c [16]float
+
+func main() int {
+	for (var i int = 0; i < 16; i = i + 1) {
+		a[i] = float(i)
+		b[i] = float(i % 4)
+	}
+	for (var i int = 0; i < 4; i = i + 1) {
+		for (var j int = 0; j < 4; j = j + 1) {
+			var s float = 0.0
+			for (var k int = 0; k < 4; k = k + 1) {
+				s = s + a[i*4+k] * b[k*4+j]
+			}
+			c[i*4+j] = s
+		}
+	}
+	return int(c[5])
+}`)
+	// row1 of a = [4,5,6,7]; col1 of b = [1,1,1,1] => 22
+	if v != 22 {
+		t.Errorf("got %d, want 22", v)
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	v, _ := run(t, `
+func main() int {
+	var x int = 5
+	var f float = -2.5
+	return -x + ~0 + !0 * 10 + !3 + int(-f * 2.0)
+}`)
+	// -5 + -1 + 10 + 0 + 5 = 9
+	if v != 9 {
+		t.Errorf("got %d, want 9", v)
+	}
+}
+
+func TestFloatCompares(t *testing.T) {
+	v, out := run(t, `
+func absf(x float) float {
+	if (x < 0.0) { return -x }
+	return x
+}
+func main() int {
+	print_f(absf(-2.5))
+	print_f(absf(1.25))
+	var n int = 0
+	if (1.5 > 1.0) { n = n + 1 }
+	if (1.5 >= 1.5) { n = n + 1 }
+	if (1.0 != 2.0) { n = n + 1 }
+	if (2.0 == 2.0) { n = n + 1 }
+	if (1.0 <= 0.5) { n = n + 100 }
+	return n
+}`)
+	if v != 4 {
+		t.Errorf("float compare chain = %d, want 4", v)
+	}
+	if out != "2.5\n1.25\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProfileFromSource(t *testing.T) {
+	prog, err := Compile(`
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 7; i = i + 1) { s = s + i }
+	return s
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := ir.Profile{}
+	in := &ir.Interp{Prog: prog, Profile: prof}
+	if _, _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// some edge in main must have weight 7 (the loop body edge)
+	found := false
+	for _, w := range prof["main"] {
+		if w == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no edge with weight 7: %v", prof["main"])
+	}
+}

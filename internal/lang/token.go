@@ -1,0 +1,288 @@
+// Package lang implements the MF source language: a small, C-like language
+// rich enough to express the paper's workloads — FORTRAN-style numeric loops
+// (unrollable, disambiguatable array references) and branchy "systems" code
+// (IF chains, small basic blocks, many calls). It compiles to the ir package.
+//
+// Language summary:
+//
+//	var g [100]float            // global array (int or float elements)
+//	var n int = 10              // global scalar, optional constant initializer
+//	func f(x []float, n int) float { ... }
+//
+//	statements: var, assignment, if/else, while, for(init;cond;post),
+//	            break, continue, return, expression statements, blocks
+//	expressions: || && (short-circuit), | ^ &, == != < <= > >=, << >>,
+//	            + - * / %, unary - ! ~, calls, a[i], int(x)/float(x) casts,
+//	            c ? a : b  (SELECT: both arms evaluated, no branch — §6.2)
+//
+// Types: int (i32), float (f64), [N]int/[N]float (arrays), []int/[]float
+// (array references; what an array name decays to when passed or assigned).
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Kind is a lexical token kind.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// keywords
+	KVAR
+	KFUNC
+	KIF
+	KELSE
+	KWHILE
+	KFOR
+	KRETURN
+	KBREAK
+	KCONTINUE
+	KINT
+	KFLOAT
+
+	// punctuation and operators
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACK
+	RBRACK
+	COMMA
+	SEMI
+	ASSIGN
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	AMP
+	PIPE
+	CARET
+	TILDE
+	BANG
+	SHL
+	SHR
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+	ANDAND
+	OROR
+	QUESTION
+	COLON
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	KVAR: "var", KFUNC: "func", KIF: "if", KELSE: "else", KWHILE: "while",
+	KFOR: "for", KRETURN: "return", KBREAK: "break", KCONTINUE: "continue",
+	KINT: "int", KFLOAT: "float",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	COMMA: ",", SEMI: ";", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", BANG: "!",
+	SHL: "<<", SHR: ">>", EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", QUESTION: "?", COLON: ":",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KVAR, "func": KFUNC, "if": KIF, "else": KELSE, "while": KWHILE,
+	"for": KFOR, "return": KRETURN, "break": KBREAK, "continue": KCONTINUE,
+	"int": KINT, "float": KFLOAT,
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes src. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k Kind, text string) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: line})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[word]; ok {
+				emit(k, word)
+			} else {
+				emit(IDENT, word)
+			}
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			if isFloat {
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, errf(line, "bad float literal %q", text)
+				}
+				toks = append(toks, Token{Kind: FLOATLIT, Text: text, Flt: v, Line: line})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, errf(line, "bad int literal %q", text)
+				}
+				if v > 1<<31-1 {
+					return nil, errf(line, "int literal %q overflows i32", text)
+				}
+				toks = append(toks, Token{Kind: INTLIT, Text: text, Int: v, Line: line})
+			}
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<<":
+				emit(SHL, two)
+				i += 2
+				continue
+			case ">>":
+				emit(SHR, two)
+				i += 2
+				continue
+			case "==":
+				emit(EQ, two)
+				i += 2
+				continue
+			case "!=":
+				emit(NE, two)
+				i += 2
+				continue
+			case "<=":
+				emit(LE, two)
+				i += 2
+				continue
+			case ">=":
+				emit(GE, two)
+				i += 2
+				continue
+			case "&&":
+				emit(ANDAND, two)
+				i += 2
+				continue
+			case "||":
+				emit(OROR, two)
+				i += 2
+				continue
+			}
+			var k Kind
+			switch c {
+			case '(':
+				k = LPAREN
+			case ')':
+				k = RPAREN
+			case '{':
+				k = LBRACE
+			case '}':
+				k = RBRACE
+			case '[':
+				k = LBRACK
+			case ']':
+				k = RBRACK
+			case ',':
+				k = COMMA
+			case ';':
+				k = SEMI
+			case '=':
+				k = ASSIGN
+			case '+':
+				k = PLUS
+			case '-':
+				k = MINUS
+			case '*':
+				k = STAR
+			case '/':
+				k = SLASH
+			case '%':
+				k = PERCENT
+			case '&':
+				k = AMP
+			case '|':
+				k = PIPE
+			case '^':
+				k = CARET
+			case '~':
+				k = TILDE
+			case '!':
+				k = BANG
+			case '<':
+				k = LT
+			case '>':
+				k = GT
+			case '?':
+				k = QUESTION
+			case ':':
+				k = COLON
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+			emit(k, string(c))
+			i++
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line})
+	return toks, nil
+}

@@ -1,0 +1,82 @@
+package opt
+
+import "github.com/multiflow-repro/trace/internal/ir"
+
+// DCE removes pure ops whose results are never used, iterating to a fixed
+// point (removing one op can make its operands' definitions dead too).
+// Returns the total number of ops removed.
+func DCE(f *ir.Func) int {
+	total := 0
+	for {
+		n := dceOnce(f)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+func dceOnce(f *ir.Func) int {
+	lv := f.ComputeLiveness()
+	removed := 0
+	for _, b := range f.Blocks {
+		live := lv.Out[b.ID].Clone()
+		// walk backward, deleting dead pure ops
+		var kept []ir.Op
+		for i := len(b.Ops) - 1; i >= 0; i-- {
+			o := b.Ops[i]
+			dead := o.Dst != ir.None && !live.Has(o.Dst) && !o.Kind.HasSideEffect()
+			if dead {
+				removed++
+				continue
+			}
+			if o.Dst != ir.None {
+				live.Remove(o.Dst)
+			}
+			for _, a := range o.Args {
+				live.Add(a)
+			}
+			kept = append(kept, o)
+		}
+		// reverse kept
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		b.Ops = kept
+	}
+	return removed
+}
+
+// CopyProp rewrites uses of registers defined by Mov to use the source when
+// the rewrite is provably safe within a block (neither source nor
+// destination is redefined in between). Block-local; LVN handles the common
+// cases and this pass mops up after inlining and unrolling. Returns uses
+// rewritten.
+func CopyProp(f *ir.Func) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		copies := map[ir.Reg]ir.Reg{} // dst -> src while valid
+		for i := range b.Ops {
+			o := &b.Ops[i]
+			for j, a := range o.Args {
+				if s, ok := copies[a]; ok {
+					o.Args[j] = s
+					changed++
+				}
+			}
+			if o.Dst != ir.None {
+				// any copy into or out of dst is invalidated
+				delete(copies, o.Dst)
+				for d, s := range copies {
+					if s == o.Dst {
+						delete(copies, d)
+					}
+				}
+				if o.Kind == ir.Mov && o.Args[0] != o.Dst {
+					copies[o.Dst] = o.Args[0]
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,224 @@
+package opt
+
+import "github.com/multiflow-repro/trace/internal/ir"
+
+// LICM hoists loop-invariant pure computations into a preheader block
+// ("loop-invariant motion", §4). An op is hoisted when:
+//   - it is pure (no loads, stores, calls, or terminators),
+//   - every operand has no definition inside the loop (iteratively:
+//     operands defined only by already-hoisted ops count as invariant),
+//   - its destination has exactly one definition in the loop,
+//   - its block dominates all loop exits (so it would execute anyway) OR its
+//     destination is dead at every loop exit (speculation is harmless: the
+//     hoistable set excludes faulting ops), and
+//   - its destination is not live into the header from outside the loop.
+//
+// Returns the number of ops hoisted.
+func LICM(f *ir.Func) int {
+	hoisted := 0
+	// Innermost-first so inner-loop invariants can then be hoisted further
+	// out by subsequent iterations.
+	for {
+		n := licmOnce(f)
+		hoisted += n
+		if n == 0 {
+			return hoisted
+		}
+	}
+}
+
+func licmOnce(f *ir.Func) int {
+	loops := f.NaturalLoops()
+	if len(loops) == 0 {
+		return 0
+	}
+	hoisted := 0
+	for _, l := range loops {
+		hoisted += hoistLoop(f, l)
+	}
+	return hoisted
+}
+
+func pureHoistable(k ir.OpKind) bool {
+	switch k {
+	case ir.ConstI, ir.ConstF, ir.Mov, ir.GAddr, ir.FrAddr,
+		ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.Sra, ir.Neg, ir.Not,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
+		ir.FAdd, ir.FSub, ir.FMul, ir.FNeg,
+		ir.FCmpEQ, ir.FCmpNE, ir.FCmpLT, ir.FCmpLE, ir.FCmpGT, ir.FCmpGE,
+		ir.ItoF, ir.Select:
+		return true
+	}
+	// Div/Rem/FDiv excluded: hoisting may introduce a fault (divide by zero)
+	// on iterations that would not have executed the op.
+	return false
+}
+
+func hoistLoop(f *ir.Func, l *ir.Loop) int {
+	// count definitions of each register inside the loop
+	defs := map[ir.Reg]int{}
+	for b := range l.Body {
+		for i := range f.Blocks[b].Ops {
+			o := &f.Blocks[b].Ops[i]
+			if o.Dst != ir.None {
+				defs[o.Dst]++
+			}
+		}
+	}
+	idom := f.Idom()
+	exits := l.Exits(f)
+	domAllExits := func(b int) bool {
+		for _, e := range exits {
+			if !ir.Dominates(idom, b, e[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	lv := f.ComputeLiveness()
+
+	invariant := map[ir.Reg]bool{} // dst of ops chosen for hoisting
+	type cand struct {
+		block, idx int
+	}
+	var chosen []cand
+	isChosen := map[cand]bool{}
+
+	// iterate: an op becomes hoistable once all its in-loop-defined operands
+	// are themselves hoisted
+	for changed := true; changed; {
+		changed = false
+		for b := range l.Body {
+			blk := f.Blocks[b]
+			for i := range blk.Ops {
+				c := cand{b, i}
+				if isChosen[c] {
+					continue
+				}
+				o := &blk.Ops[i]
+				if o.Dst == ir.None || !pureHoistable(o.Kind) {
+					continue
+				}
+				if defs[o.Dst] != 1 {
+					continue
+				}
+				if !domAllExits(b) && !deadAtExits(lv, exits, o.Dst) {
+					continue
+				}
+				if lv.In[l.Head].Has(o.Dst) {
+					// live into the header: some path uses the old value
+					// before this def; hoisting would clobber it. (The def
+					// inside the loop makes the reg live-in only if used
+					// before defined on a loop path — conservative test.)
+					continue
+				}
+				ok := true
+				for _, a := range o.Args {
+					if defs[a] > 0 && !invariant[a] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				isChosen[c] = true
+				invariant[o.Dst] = true
+				chosen = append(chosen, c)
+				changed = true
+			}
+		}
+	}
+	if len(chosen) == 0 {
+		return 0
+	}
+
+	pre := makePreheader(f, l)
+	// Move chosen ops to the preheader in original program order: blocks in
+	// dominance order then index order. A simple stable criterion: order by
+	// (RPO position of block, index).
+	rpoPos := map[int]int{}
+	for i, b := range f.RPO() {
+		rpoPos[b] = i
+	}
+	for i := 0; i < len(chosen); i++ {
+		for j := i + 1; j < len(chosen); j++ {
+			a, b := chosen[i], chosen[j]
+			if rpoPos[b.block] < rpoPos[a.block] || (a.block == b.block && b.idx < a.idx) {
+				chosen[i], chosen[j] = chosen[j], chosen[i]
+			}
+		}
+	}
+	// append clones to preheader (before its terminator), then mark
+	// originals as Nop and sweep
+	term := pre.Ops[len(pre.Ops)-1]
+	pre.Ops = pre.Ops[:len(pre.Ops)-1]
+	for _, c := range chosen {
+		pre.Ops = append(pre.Ops, f.Blocks[c.block].Ops[c.idx].Clone())
+		f.Blocks[c.block].Ops[c.idx] = ir.Op{Kind: ir.Nop}
+	}
+	pre.Ops = append(pre.Ops, term)
+	removeNops(f)
+	return len(chosen)
+}
+
+// deadAtExits reports whether r is dead on every exit edge of the loop.
+func deadAtExits(lv *ir.Liveness, exits [][2]int, r ir.Reg) bool {
+	for _, e := range exits {
+		if lv.In[e[1]].Has(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// makePreheader ensures the loop has a dedicated preheader: a block whose
+// only successor is the header and through which every entry edge passes.
+// Returns the preheader.
+func makePreheader(f *ir.Func, l *ir.Loop) *ir.Block {
+	preds := f.Preds()
+	var outside []int
+	for _, p := range preds[l.Head] {
+		if !l.Body[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		p := f.Blocks[outside[0]]
+		if t := p.Term(); t != nil && t.Kind == ir.Br && len(p.Succs()) == 1 {
+			return p
+		}
+	}
+	pre := f.AddBlock()
+	pre.Ops = append(pre.Ops, ir.Op{Kind: ir.Br, T0: l.Head})
+	for _, pid := range outside {
+		t := f.Blocks[pid].Term()
+		switch t.Kind {
+		case ir.Br:
+			if t.T0 == l.Head {
+				t.T0 = pre.ID
+			}
+		case ir.CondBr:
+			if t.T0 == l.Head {
+				t.T0 = pre.ID
+			}
+			if t.T1 == l.Head {
+				t.T1 = pre.ID
+			}
+		}
+	}
+	return pre
+}
+
+func removeNops(f *ir.Func) {
+	for _, b := range f.Blocks {
+		var kept []ir.Op
+		for _, o := range b.Ops {
+			if o.Kind != ir.Nop {
+				kept = append(kept, o)
+			}
+		}
+		b.Ops = kept
+	}
+}

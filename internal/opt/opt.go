@@ -1,0 +1,112 @@
+package opt
+
+import "github.com/multiflow-repro/trace/internal/ir"
+
+// Options configures the classical-optimization pipeline.
+type Options struct {
+	// Inline enables inline substitution of subroutines.
+	Inline bool
+	// InlineThreshold is the max callee size in ops (default 60).
+	InlineThreshold int
+	// InlineGrowthCap bounds caller size in ops during inlining (default 2000).
+	InlineGrowthCap int
+	// UnrollFactor replicates innermost loop bodies this many times total
+	// (1 = no unrolling).
+	UnrollFactor int
+	// UnrollMaxOps bounds the ops added per unrolled loop (default 400).
+	UnrollMaxOps int
+	// TailDup duplicates small merge blocks so traces can run through
+	// if-chains without side entrances (see TailDup).
+	TailDup bool
+	// TailDupBudget bounds duplicated ops per function (default 200).
+	TailDupBudget int
+}
+
+// Default returns the optimization options the compiler driver uses at -O2:
+// inlining on, unroll by 8 — comparable in spirit to the heuristics the
+// paper says are "now in place" (§8.4).
+func Default() Options {
+	return Options{Inline: true, UnrollFactor: 8, TailDup: true}
+}
+
+// None returns options that disable every optional transformation (cleanup
+// passes still run so the IR reaching the scheduler is canonical).
+func None() Options { return Options{UnrollFactor: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.InlineThreshold == 0 {
+		o.InlineThreshold = 60
+	}
+	if o.InlineGrowthCap == 0 {
+		o.InlineGrowthCap = 2000
+	}
+	if o.UnrollMaxOps == 0 {
+		o.UnrollMaxOps = 400
+	}
+	if o.UnrollFactor == 0 {
+		o.UnrollFactor = 1
+	}
+	if o.TailDupBudget == 0 {
+		o.TailDupBudget = 200
+	}
+	return o
+}
+
+// Stats reports what the pipeline did, for the code-growth experiments.
+type Stats struct {
+	Inlined    int
+	Unrolled   int
+	Hoisted    int
+	TailDups   int
+	Simplified int
+	Removed    int
+	OpsBefore  int
+	OpsAfter   int
+}
+
+// Run applies the full classical pipeline to the program and returns stats.
+// Order: inline → per-function cleanup (LVN/copyprop/branch-fold/DCE) →
+// LICM → unroll → cleanup again. Unrolling runs after LICM so invariants are
+// hoisted once, not per copy.
+func Run(p *ir.Program, opts Options) Stats {
+	opts = opts.withDefaults()
+	var st Stats
+	for _, f := range p.Funcs {
+		st.OpsBefore += countOps(f)
+	}
+	if opts.Inline {
+		st.Inlined = Inline(p, opts.InlineThreshold, opts.InlineGrowthCap)
+	}
+	for _, f := range p.Funcs {
+		st.Simplified += cleanup(f)
+		st.Hoisted += LICM(f)
+		if opts.UnrollFactor > 1 {
+			st.Unrolled += Unroll(f, opts.UnrollFactor, opts.UnrollMaxOps)
+		}
+		if opts.TailDup {
+			st.TailDups += TailDup(f, 12, opts.TailDupBudget)
+		}
+		st.Simplified += cleanup(f)
+		st.Removed += DCE(f)
+	}
+	for _, f := range p.Funcs {
+		st.OpsAfter += countOps(f)
+	}
+	return st
+}
+
+// cleanup iterates the cheap local passes to a fixed point.
+func cleanup(f *ir.Func) int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		n := LVN(f)
+		n += CopyProp(f)
+		n += FoldBranches(f)
+		n += DCE(f)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}

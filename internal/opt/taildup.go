@@ -1,0 +1,125 @@
+package opt
+
+import "github.com/multiflow-repro/trace/internal/ir"
+
+// TailDup duplicates small merge blocks so each predecessor gets a private
+// copy, removing side entrances from the hot paths. A trace can then extend
+// through an if-chain without join bookkeeping, and the multiway branch
+// (§6.5.2) can pack the chain's tests together. This is the structural
+// counterpart of the paper's join compensation code: the same instructions
+// are copied, but at the IR level before scheduling. Growth is bounded by
+// budget ops per function.
+func TailDup(f *ir.Func, maxBlockOps, budget int) int {
+	dups := 0
+	spent := 0
+	for pass := 0; pass < 64; pass++ {
+		changed := false
+		preds := f.Preds()
+		idom := f.Idom()
+		loops := f.NaturalLoops()
+		// innermost returns the smallest loop containing a block (loops are
+		// sorted innermost-first).
+		innermost := func(bid int) *ir.Loop {
+			for _, l := range loops {
+				if l.Body[bid] {
+					return l
+				}
+			}
+			return nil
+		}
+		// inLoopMerge reports whether the block is an if-chain merge on a
+		// hot path: at least two predecessors live in the same innermost
+		// loop as the block itself. Merges whose predecessors belong to an
+		// inner loop (a nested loop's unrolled exit tests) are excluded —
+		// duplicating a loop's exit continuation fragments the loop trace
+		// instead of helping it.
+		inLoopMerge := func(bid int, ps []int) bool {
+			l := innermost(bid)
+			if l == nil {
+				return false
+			}
+			n := 0
+			for _, p := range ps {
+				if innermost(p) == l {
+					n++
+				}
+			}
+			return n >= 2
+		}
+		for bid := 1; bid < len(f.Blocks); bid++ {
+			b := f.Blocks[bid]
+			ps := preds[bid]
+			if len(ps) < 2 || len(b.Ops) > maxBlockOps {
+				continue
+			}
+			if !inLoopMerge(bid, ps) {
+				continue
+			}
+			// never duplicate a loop header (a predecessor it dominates has
+			// a back edge to it)
+			isHeader := false
+			for _, p := range ps {
+				if ir.Dominates(idom, bid, p) {
+					isHeader = true
+					break
+				}
+			}
+			if isHeader {
+				continue
+			}
+			// self-loops and blocks ending in calls are left alone
+			selfPred := false
+			for _, p := range ps {
+				if p == bid {
+					selfPred = true
+				}
+			}
+			if selfPred {
+				continue
+			}
+			cost := len(b.Ops) * (len(ps) - 1)
+			if spent+cost > budget {
+				continue
+			}
+			spent += cost
+			// every predecessor after the first gets a private copy
+			for _, p := range ps[1:] {
+				nb := f.AddBlock()
+				nb.Ops = make([]ir.Op, len(b.Ops))
+				for i := range b.Ops {
+					nb.Ops[i] = b.Ops[i].Clone()
+				}
+				retarget(f.Blocks[p], bid, nb.ID)
+				dups++
+			}
+			changed = true
+			// recompute preds/doms after structural change
+			break
+		}
+		if !changed {
+			break
+		}
+	}
+	if dups > 0 {
+		f.RemoveUnreachable()
+	}
+	return dups
+}
+
+// retarget rewrites p's terminator edges from old to new.
+func retarget(p *ir.Block, old, new int) {
+	t := p.Term()
+	switch t.Kind {
+	case ir.Br:
+		if t.T0 == old {
+			t.T0 = new
+		}
+	case ir.CondBr:
+		if t.T0 == old {
+			t.T0 = new
+		}
+		if t.T1 == old {
+			t.T1 = new
+		}
+	}
+}

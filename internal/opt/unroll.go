@@ -1,0 +1,172 @@
+package opt
+
+import "github.com/multiflow-repro/trace/internal/ir"
+
+// Unroll replicates the bodies of innermost loops factor-1 extra times
+// ("automatic loop unrolling", §4). The transformation is test-preserving:
+// every copy keeps its exit branches, so it is correct for any loop shape,
+// counted or not. The payoff comes later: the trace selector threads a trace
+// through all copies (the exit tests become on-trace splits), and the trace
+// scheduler's register renaming breaks the false dependences between copies,
+// exposing cross-iteration parallelism exactly as the paper describes.
+//
+// Loops whose body exceeds maxOps ops are left alone — the heuristic the
+// paper mentions had to be added before UNIX-scale code stopped "growing
+// unmanageably" (§8.4). Returns the number of loops unrolled.
+func Unroll(f *ir.Func, factor, maxOps int) int {
+	if factor < 2 {
+		return 0
+	}
+	loops := f.NaturalLoops()
+	// Innermost loops only: a loop is innermost if no other loop's body is a
+	// strict subset of its body.
+	inner := loops[:0]
+	for _, l := range loops {
+		innermost := true
+		for _, m := range loops {
+			if m != l && subset(m.Body, l.Body) {
+				innermost = false
+				break
+			}
+		}
+		if innermost {
+			inner = append(inner, l)
+		}
+	}
+	n := 0
+	for _, l := range inner {
+		if unrollLoop(f, l, factor, maxOps) {
+			n++
+		}
+	}
+	if n > 0 {
+		f.RemoveUnreachable()
+	}
+	return n
+}
+
+func subset(a, b map[int]bool) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func unrollLoop(f *ir.Func, l *ir.Loop, factor, maxOps int) bool {
+	size := 0
+	branches := 0
+	for b := range l.Body {
+		size += len(f.Blocks[b].Ops)
+		if t := f.Blocks[b].Term(); t != nil && t.Kind == ir.CondBr {
+			branches++
+		}
+	}
+	// Loops with internal control flow (more than the loop test itself)
+	// replicate their unpredictable branches, and every replica's off-trace
+	// edge grows compensation code. The paper's heuristics were tuned until
+	// "the full compacting compiler optimizations work well ... without
+	// undue code growth" (§8.4); cap the factor for branchy bodies.
+	if branches > 1 && factor > 2 {
+		factor = 2
+	}
+	if size*(factor-1) > maxOps {
+		return false
+	}
+	// Loops containing calls are not unrolled: calls end traces anyway, so
+	// replication would cost space for no schedule benefit.
+	for b := range l.Body {
+		for i := range f.Blocks[b].Ops {
+			if f.Blocks[b].Ops[i].Kind == ir.Call {
+				return false
+			}
+		}
+	}
+
+	// bodyIDs in deterministic order
+	var bodyIDs []int
+	for b := range l.Body {
+		bodyIDs = append(bodyIDs, b)
+	}
+	for i := 0; i < len(bodyIDs); i++ {
+		for j := i + 1; j < len(bodyIDs); j++ {
+			if bodyIDs[j] < bodyIDs[i] {
+				bodyIDs[i], bodyIDs[j] = bodyIDs[j], bodyIDs[i]
+			}
+		}
+	}
+
+	// Create factor-1 copies. copyMap[k][origID] = ID of copy k of the block.
+	copyMap := make([]map[int]int, factor-1)
+	for k := 0; k < factor-1; k++ {
+		copyMap[k] = map[int]int{}
+		for _, b := range bodyIDs {
+			nb := f.AddBlock()
+			copyMap[k][b] = nb.ID
+		}
+	}
+	// headOf(k): header of copy k, where copy 0 is the original.
+	headOf := func(k int) int {
+		if k == 0 {
+			return l.Head
+		}
+		return copyMap[k-1][l.Head]
+	}
+	// Fill each copy: targets inside the body map to the same copy, except
+	// the back edge to the header, which advances to the next copy (the last
+	// copy branches back to the original header).
+	for k := 0; k < factor-1; k++ {
+		nextHead := headOf((k + 2) % factor)
+		if k == factor-2 {
+			nextHead = l.Head
+		}
+		for _, b := range bodyIDs {
+			src := f.Blocks[b]
+			dst := f.Blocks[copyMap[k][b]]
+			dst.Ops = make([]ir.Op, len(src.Ops))
+			for i := range src.Ops {
+				dst.Ops[i] = src.Ops[i].Clone()
+			}
+			t := dst.Term()
+			retarget := func(tgt int) int {
+				if tgt == l.Head {
+					return nextHead
+				}
+				if l.Body[tgt] {
+					return copyMap[k][tgt]
+				}
+				return tgt // exit edge: unchanged
+			}
+			switch t.Kind {
+			case ir.Br:
+				t.T0 = retarget(t.T0)
+			case ir.CondBr:
+				t.T0 = retarget(t.T0)
+				t.T1 = retarget(t.T1)
+			}
+		}
+	}
+	// Original copy's back edges now go to copy 1's header.
+	firstCopyHead := headOf(1)
+	for _, b := range bodyIDs {
+		t := f.Blocks[b].Term()
+		switch t.Kind {
+		case ir.Br:
+			if t.T0 == l.Head {
+				t.T0 = firstCopyHead
+			}
+		case ir.CondBr:
+			if t.T0 == l.Head {
+				t.T0 = firstCopyHead
+			}
+			if t.T1 == l.Head {
+				t.T1 = firstCopyHead
+			}
+		}
+	}
+	return true
+}

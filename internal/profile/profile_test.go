@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/lang"
+)
+
+const nested = `
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 10; i = i + 1) {
+		for (var j int = 0; j < 10; j = j + 1) {
+			if (j % 2 == 0) { s = s + 1 }
+		}
+	}
+	return s
+}`
+
+func TestStaticWeightsLoopDepth(t *testing.T) {
+	prog, err := lang.Compile(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Static(prog)
+	edges := prof["main"]
+	if len(edges) == 0 {
+		t.Fatal("no edges estimated")
+	}
+	// the inner loop's back edge must outweigh the outer loop's entry edge
+	var maxW, minW float64
+	minW = 1e18
+	for _, w := range edges {
+		if w > maxW {
+			maxW = w
+		}
+		if w < minW {
+			minW = w
+		}
+	}
+	if maxW < float64(LoopWeight)*float64(LoopWeight)/2 {
+		t.Errorf("inner-loop weight %v too low for depth-2 nesting", maxW)
+	}
+	if minW >= maxW {
+		t.Error("no weight differentiation")
+	}
+}
+
+func TestFromRunMatchesExecution(t *testing.T) {
+	prog, err := lang.Compile(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FromRun(prog)
+	// the if-then edge inside the inner loop is taken exactly 50 times
+	found := false
+	for _, w := range prof["main"] {
+		if w == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a 50-weight edge, got %v", prof["main"])
+	}
+}
+
+func TestFromRunFallsBackOnTrap(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() int {
+	var z int = 0
+	for (var i int = 0; i < 4; i = i + 1) { z = z + i }
+	return 1 / (z - 6)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FromRun(prog) // traps; must fall back to static estimates
+	if len(prof["main"]) == 0 {
+		t.Error("no fallback profile for trapping program")
+	}
+}
+
+func TestFromRunCoversUncalledFunctions(t *testing.T) {
+	prog, err := lang.Compile(`
+func unused(n int) int {
+	var s int = 0
+	for (var i int = 0; i < n; i = i + 1) { s = s + i }
+	return s
+}
+func main() int { return 7 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FromRun(prog)
+	if len(prof["unused"]) == 0 {
+		t.Error("uncalled function got no static estimates")
+	}
+}

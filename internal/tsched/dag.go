@@ -1,0 +1,853 @@
+package tsched
+
+import (
+	"fmt"
+
+	"github.com/multiflow-repro/trace/internal/alias"
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// schedOp is one operation of a linearized trace, carrying its renamed vop,
+// original position, dependence edges, and (once placed) its slot.
+type schedOp struct {
+	vop      VOp
+	origIdx  int
+	srcBlock int
+	traceIdx int  // position of the op's block within the trace
+	isSplit  bool // BrT whose taken edge leaves the trace
+	isFinal  bool // the trace-terminating jump (scheduled last)
+
+	ref   *alias.Ref // memory ops: address form for disambiguation
+	isMem bool
+	// compVop preserves the op's operands before the scheduler rewrote any
+	// of them to board-local copies; compensation code re-executes this
+	// form (serial comp blocks read each operand from its home board).
+	compVop *VOp
+	// converted marks a Load rewritten to the non-trapping speculative
+	// opcode because it moved above a split (§7); compensation copies
+	// revert it.
+	converted bool
+	// isRestore marks the final-exit moves that re-establish original
+	// register names; their writes must drain before control leaves.
+	isRestore bool
+	succs     []sedge
+	npreds    int // unscheduled predecessors
+
+	// placement
+	placed bool
+	instr  int
+	beat   int // absolute issue beat
+	unit   mach.Unit
+
+	prio int64 // critical-path height in beats
+	// chained marks an op consuming a same-kind producer (a reduction or
+	// induction link); it follows its operands' board instead of spreading.
+	chained bool
+}
+
+// sedge is a scheduling constraint: when minBeats ≥ 0, issue(to) ≥
+// issue(from) + minBeats (minBeats -1 imposes no beat constraint);
+// independently, instr(to) ≥ instr(from) + instrDelta (instrDelta 0 allows
+// sharing an instruction, where hardware semantics make order irrelevant —
+// e.g. multiway branch priorities, or ops sharing the branch's instruction,
+// which execute on both paths).
+type sedge struct {
+	to         int
+	minBeats   int
+	instrDelta int
+}
+
+// traceGraph is a linearized, renamed trace with its dependence DAG and the
+// bookkeeping needed to generate compensation code afterwards.
+type traceGraph struct {
+	vf  *VFunc
+	ops []*schedOp
+
+	// rename bookkeeping
+	renameAtSplit map[int]map[VReg]VReg // op index -> snapshot of cur map
+	renameAtJoin  map[int]map[VReg]VReg // linear position of join -> snapshot
+	joinPos       map[int]int           // vblock ID -> linear position (first op index)
+	splitTarget   map[int]int           // op index -> off-trace vblock
+	finalIdx      int                   // index of the final exit op (-1 if none: trace ends in Halt-like)
+
+	// restore moves appended for the final exit are ordinary ops; for splits
+	// they are generated later from the snapshots.
+}
+
+var invCmp = map[ir.OpKind]ir.OpKind{
+	ir.CmpEQ: ir.CmpNE, ir.CmpNE: ir.CmpEQ,
+	ir.CmpLT: ir.CmpGE, ir.CmpGE: ir.CmpLT,
+	ir.CmpLE: ir.CmpGT, ir.CmpGT: ir.CmpLE,
+	ir.FCmpEQ: ir.FCmpNE, ir.FCmpNE: ir.FCmpEQ,
+	ir.FCmpLT: ir.FCmpGE, ir.FCmpGE: ir.FCmpLT,
+	ir.FCmpLE: ir.FCmpGT, ir.FCmpGT: ir.FCmpLE,
+}
+
+// linearize flattens the trace's blocks into one op sequence, turning
+// on-trace jumps into fallthroughs and orienting conditional branches so
+// their taken edge leaves the trace (inverting the producing compare when
+// the trace follows the taken side).
+func linearize(vf *VFunc, tr Trace) (*traceGraph, error) {
+	g := &traceGraph{
+		vf:            vf,
+		renameAtSplit: map[int]map[VReg]VReg{},
+		renameAtJoin:  map[int]map[VReg]VReg{},
+		joinPos:       map[int]int{},
+		splitTarget:   map[int]int{},
+		finalIdx:      -1,
+	}
+	inTrace := map[int]int{} // block -> position in trace
+	for i, b := range tr.Blocks {
+		inTrace[b] = i
+	}
+	preds := vf.Preds()
+
+	curTI := 0
+	emit := func(op VOp, src int) *schedOp {
+		s := &schedOp{vop: op, origIdx: len(g.ops), srcBlock: src, traceIdx: curTI, instr: -1}
+		g.ops = append(g.ops, s)
+		return s
+	}
+
+	for ti, bid := range tr.Blocks {
+		curTI = ti
+		b := vf.Blocks[bid]
+		if ti > 0 {
+			// join if any predecessor is not the previous trace block
+			prev := tr.Blocks[ti-1]
+			for _, p := range preds[bid] {
+				if p != prev {
+					g.joinPos[bid] = len(g.ops)
+					break
+				}
+			}
+		}
+		for oi := range b.Ops {
+			op := b.Ops[oi] // copy
+			isLast := oi == len(b.Ops)-1
+			if !isLast {
+				emit(op, bid)
+				continue
+			}
+			next := -1
+			if ti+1 < len(tr.Blocks) {
+				next = tr.Blocks[ti+1]
+			}
+			switch op.Kind {
+			case mach.OpJmp:
+				if op.T0 == next {
+					continue // fallthrough
+				}
+				s := emit(op, bid)
+				s.isFinal = true
+				g.finalIdx = s.origIdx
+			case mach.OpBrT:
+				if op.T1 == next {
+					s := emit(op, bid)
+					s.isSplit = true
+					g.splitTarget[s.origIdx] = op.T0
+				} else if op.T0 == next {
+					// invert: find the BB def and flip its sense
+					if err := invertBranch(g, &op); err != nil {
+						return nil, err
+					}
+					op.T0, op.T1 = op.T1, op.T0
+					s := emit(op, bid)
+					s.isSplit = true
+					g.splitTarget[s.origIdx] = op.T0
+				} else {
+					// trace ends at a two-way branch: split + final jump
+					s := emit(op, bid)
+					s.isSplit = true
+					g.splitTarget[s.origIdx] = op.T0
+					j := emit(VOp{Kind: mach.OpJmp, T0: op.T1, Line: op.Line}, bid)
+					j.isFinal = true
+					g.finalIdx = j.origIdx
+				}
+			default:
+				return nil, fmt.Errorf("%s: block b%d in compacted trace ends with %s",
+					vf.Name, bid, mach.OpName(op.Kind))
+			}
+		}
+	}
+	return g, nil
+}
+
+// invertBranch flips the compare producing the branch's condition bit.
+func invertBranch(g *traceGraph, br *VOp) error {
+	bb := br.A.Reg
+	for i := len(g.ops) - 1; i >= 0; i-- {
+		o := &g.ops[i].vop
+		if o.Dst != bb {
+			continue
+		}
+		nk, ok := invCmp[o.Kind]
+		if !ok {
+			return fmt.Errorf("%s: branch condition defined by %s, cannot invert",
+				g.vf.Name, mach.OpName(o.Kind))
+		}
+		o.Kind = nk
+		return nil
+	}
+	return fmt.Errorf("%s: branch condition t%d not defined in trace", g.vf.Name, bb)
+}
+
+// rename gives every in-trace definition a fresh virtual register, breaking
+// anti- and output-dependences so unrolled iterations can overlap. Snapshots
+// of the renaming map are taken at every split and join for compensation.
+// Precolored registers are never renamed.
+func (g *traceGraph) rename() {
+	vf := g.vf
+	cur := map[VReg]VReg{}
+	snap := func() map[VReg]VReg {
+		m := make(map[VReg]VReg, len(cur))
+		for k, v := range cur {
+			m[k] = v
+		}
+		return m
+	}
+	// join snapshots are taken at linear positions; collect reverse map
+	joinAt := map[int][]int{} // position -> blocks joining there
+	for b, pos := range g.joinPos {
+		joinAt[pos] = append(joinAt[pos], b)
+	}
+	resolve := func(a *VArg) {
+		if a.IsImm || a.Reg == VNone {
+			return
+		}
+		if r, ok := cur[a.Reg]; ok {
+			a.Reg = r
+		}
+	}
+	for i, s := range g.ops {
+		if _, ok := joinAt[i]; ok {
+			g.renameAtJoin[i] = snap()
+		}
+		o := &s.vop
+		resolve(&o.A)
+		resolve(&o.B)
+		resolve(&o.C)
+		if s.isSplit || s.isFinal {
+			g.renameAtSplit[i] = snap()
+		}
+		if o.Dst != VNone {
+			if _, pre := vf.precolor[o.Dst]; pre {
+				continue
+			}
+			fresh := vf.NewReg(vf.Class(o.Dst), vf.TypeOf(o.Dst))
+			cur[o.Dst] = fresh
+			o.Dst = fresh
+		}
+	}
+}
+
+// foldGlobalConsts rewrites src2 register operands whose value is a
+// function-level constant (e.g. a loop-invariant stride hoisted to the
+// preheader) into immediates, freeing read ports and exposing add chains to
+// collapsing. Only the src2 leg takes immediates in the encoding (§6.1).
+func (g *traceGraph) foldGlobalConsts(global map[VReg]alias.Form) {
+	fold := func(a *VArg) {
+		if a.IsImm || a.Reg == VNone {
+			return
+		}
+		f, ok := global[a.Reg]
+		// Only the inline 6-bit immediate is free; a 32-bit value would
+		// compete for the pair's single shared immediate word per beat
+		// (§6.1), which costs more than the register read it saves.
+		if !ok || !f.IsConst() || f.Const < -32 || f.Const > 31 {
+			return
+		}
+		*a = VImmArg(int32(f.Const))
+	}
+	for _, s := range g.ops {
+		o := &s.vop
+		switch o.Kind {
+		case ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Sra,
+			ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
+			fold(&o.B)
+		case ir.Select:
+			if o.Type == ir.I32 {
+				fold(&o.C)
+			}
+		}
+	}
+}
+
+// forwardMoves rewrites operands that read the result of an in-trace
+// register-to-register move to read the move's source directly, removing
+// the move from dependence chains (the move still executes for its own
+// consumers, e.g. exit restores). Like collapseAddChains, forwarding must
+// not cross a side entrance: the joining path establishes only the current
+// names.
+func (g *traceGraph) forwardMoves() {
+	vf := g.vf
+	defs := map[VReg]*VOp{}
+	fwd := func(a *VArg) {
+		if a.IsImm || a.Reg == VNone {
+			return
+		}
+		for hops := 0; hops < 8; hops++ {
+			d, ok := defs[a.Reg]
+			if !ok || d.Kind != ir.Mov || d.A.IsImm || d.A.Reg == VNone {
+				return
+			}
+			// only forward within a bank class; cross-bank moves are real
+			// data routing
+			if vf.Class(d.Dst) != vf.Class(d.A.Reg) {
+				return
+			}
+			a.Reg = d.A.Reg
+		}
+	}
+	for i, s := range g.ops {
+		if _, isJoin := g.joinAtIndex(i); isJoin {
+			defs = map[VReg]*VOp{}
+		}
+		o := &s.vop
+		fwd(&o.A)
+		fwd(&o.B)
+		fwd(&o.C)
+		if o.Dst != VNone {
+			defs[o.Dst] = o
+		}
+	}
+}
+
+// collapseAddChains rewrites renamed add-immediate chains so each link
+// depends on the chain's trace live-in rather than its predecessor:
+// i1=i0+1, i2=i1+1 becomes i1=i0+1, i2=i0+2. Unrolled induction updates
+// otherwise form a serial recurrence through the whole trace; collapsed,
+// every unrolled iteration's address arithmetic is independent and can
+// spread across the board pairs. (Height reduction in the style of
+// Ellis's Bulldog generator.)
+func (g *traceGraph) collapseAddChains() {
+	defs := map[VReg]*VOp{}
+	// chase resolves a register through in-trace I32 moves to its defining
+	// op (renaming makes every def unique, so this is sound).
+	chase := func(r VReg) *VOp {
+		for i := 0; i < 8; i++ {
+			d, ok := defs[r]
+			if !ok {
+				return nil
+			}
+			if d.Kind == ir.Mov && d.Type == ir.I32 && !d.A.IsImm && d.A.Reg != VNone {
+				r = d.A.Reg
+				continue
+			}
+			return d
+		}
+		return nil
+	}
+	for i, s := range g.ops {
+		// A side entrance re-establishes only the registers current at the
+		// join; rewriting a later op to read an older rename would make the
+		// joining path read a value its compensation never set. Chains must
+		// not cross a join.
+		if _, isJoin := g.joinAtIndex(i); isJoin {
+			defs = map[VReg]*VOp{}
+		}
+		o := &s.vop
+		if o.Kind == ir.Add && o.B.IsImm && o.B.Sym == "" && !o.A.IsImm && o.A.Reg != VNone {
+			if d := chase(o.A.Reg); d != nil && d.Kind == ir.Add && d.B.IsImm && d.B.Sym == "" &&
+				!d.A.IsImm && d.A.Reg != VNone {
+				sum := int64(o.B.Imm) + int64(d.B.Imm)
+				if sum >= -1<<31 && sum < 1<<31 {
+					o.A.Reg = d.A.Reg
+					o.B.Imm = int32(sum)
+				}
+			}
+		}
+		if o.Dst != VNone {
+			defs[o.Dst] = o
+		}
+	}
+}
+
+// origOf inverts a rename snapshot: renamed -> original.
+func origOf(snap map[VReg]VReg) map[VReg]VReg {
+	m := make(map[VReg]VReg, len(snap))
+	for o, r := range snap {
+		m[r] = o
+	}
+	return m
+}
+
+// addFinalRestores appends, just before the trace's final exit jump, a move
+// re-establishing each original register (live into the exit's target) from
+// its current renamed name, so off-trace code sees the canonical locations.
+func (g *traceGraph) addFinalRestores(lv *VLiveness) {
+	if g.finalIdx < 0 {
+		return
+	}
+	snap := g.renameAtSplit[g.finalIdx]
+	target := g.ops[g.finalIdx].vop.T0
+	var movs []*schedOp
+	// deterministic order
+	var origs []VReg
+	for o := range snap {
+		origs = append(origs, o)
+	}
+	for i := 0; i < len(origs); i++ {
+		for j := i + 1; j < len(origs); j++ {
+			if origs[j] < origs[i] {
+				origs[i], origs[j] = origs[j], origs[i]
+			}
+		}
+	}
+	for _, orig := range origs {
+		cur := snap[orig]
+		if cur == orig || !lv.In[target].Has(ir.Reg(orig)) {
+			continue
+		}
+		movs = append(movs, &schedOp{
+			vop:       VOp{Kind: ir.Mov, Type: g.vf.TypeOf(orig), Dst: orig, A: VRegArg(cur)},
+			instr:     -1,
+			isRestore: true,
+		})
+	}
+	if len(movs) == 0 {
+		return
+	}
+	fi := g.finalIdx
+	final := g.ops[fi]
+	g.ops = append(g.ops[:fi], append(movs, final)...)
+	for i := fi; i < len(g.ops); i++ {
+		g.ops[i].origIdx = i
+	}
+	g.finalIdx = final.origIdx
+	// the snapshot and split bookkeeping keyed by the old index move
+	delete(g.renameAtSplit, fi)
+	g.renameAtSplit[g.finalIdx] = snap
+}
+
+// buildDAG adds dependence edges. layout supplies global addresses and
+// globalForms the function-level single-assignment derivations for the
+// disambiguator.
+func (g *traceGraph) buildDAG(cfg mach.Config, layout map[string]int64, globalForms map[VReg]alias.Form) {
+	defsite := map[VReg]int{}
+
+	addEdge := func(from, to, minBeats, instrDelta int) {
+		if from == to {
+			return
+		}
+		g.ops[from].succs = append(g.ops[from].succs, sedge{to, minBeats, instrDelta})
+		g.ops[to].npreds++
+	}
+
+	var mems []int           // indices of memory ops so far
+	var splits []int         // indices of splits so far
+	var aboveJoin []int      // ops before the most recent join (for split barriers)
+	uses := map[VReg][]int{} // reads of each reg since its last definition
+
+	formOf := newFormTracker(layout)
+	formOf.seed(globalForms)
+
+	for i, s := range g.ops {
+		o := &s.vop
+		if _, ok := g.joinAtIndex(i); ok {
+			aboveJoin = aboveJoinUpTo(g, i)
+		}
+
+		// flow dependences
+		for _, u := range o.Uses() {
+			if d, ok := defsite[u]; ok {
+				lat := opLatency(cfg, &g.ops[d].vop)
+				addEdge(d, i, lat, 0)
+				// chain detection looks through moves: acc = mov t after
+				// t = fadd acc', x is still the same reduction
+				dk := g.ops[d]
+				for hops := 0; hops < 8 && dk.vop.Kind == ir.Mov; hops++ {
+					src := dk.vop.A.Reg
+					if dk.vop.A.IsImm || src == VNone {
+						break
+					}
+					nd, ok := defsite[src]
+					if !ok {
+						break
+					}
+					dk = g.ops[nd]
+				}
+				if dk.vop.Kind == o.Kind || (o.Kind == ir.Mov && dk.vop.Kind != ir.Mov) {
+					switch dk.vop.Kind {
+					case ir.FAdd, ir.FSub, ir.FMul, ir.Add, ir.Sub:
+						if o.Kind == dk.vop.Kind || o.Kind == ir.Mov {
+							s.chained = true
+						}
+					}
+				}
+			}
+			uses[u] = append(uses[u], i)
+		}
+		// Renaming removed almost all WAR/WAW hazards; the exceptions are
+		// precolored registers and the restore moves that re-establish
+		// original names at the trace's final exit. A write may not take
+		// effect before an outstanding read issues (reads happen at issue,
+		// writes land at issue+latency, so issue(def) ≥ issue(use) is
+		// sufficient), and a write must follow a previous write by a beat.
+		if o.Dst != VNone {
+			for _, j := range uses[o.Dst] {
+				addEdge(j, i, 0, 0)
+			}
+			if d, ok := defsite[o.Dst]; ok {
+				addEdge(d, i, 1, 0)
+			}
+			uses[o.Dst] = nil
+			defsite[o.Dst] = i
+		}
+
+		// memory dependences
+		if o.IsMem() {
+			s.isMem = true
+			r := formOf.refOf(o)
+			s.ref = &r
+			for _, j := range mems {
+				m := g.ops[j]
+				if o.Kind != ir.Store && m.vop.Kind != ir.Store {
+					continue // two loads commute
+				}
+				if alias.MayAlias(*m.ref, r) != alias.No {
+					addEdge(j, i, 1, 0)
+				}
+			}
+			mems = append(mems, i)
+		}
+		formOf.note(o)
+
+		// control dependences
+		if s.isSplit || s.isFinal {
+			// branches stay ordered among themselves; multiway packing may
+			// place several in one instruction (priority resolves), so the
+			// edge is beat-level only when multiway is on.
+			brDelta := 1
+			if cfg.MultiwayBranch {
+				brDelta = 0
+			}
+			for _, j := range splits {
+				addEdge(j, i, -1, brDelta)
+			}
+			// a branch may not move above any op that precedes the nearest
+			// join (the entrance would have to move above it, impossible)
+			for _, j := range aboveJoin {
+				addEdge(j, i, -1, 1)
+			}
+			splits = append(splits, i)
+		} else if s.isRestore {
+			// Restore moves write ORIGINAL register names, which are live
+			// on every off-trace edge; moving one above a split would
+			// clobber the value the off-trace path reads. Keep them below
+			// all splits (the split's own compensation re-establishes names
+			// from its snapshot).
+			for _, j := range splits {
+				addEdge(j, i, -1, 1)
+			}
+		} else {
+			switch o.Kind {
+			case ir.Store, mach.OpMovSF:
+				// stores never move above a split: the off-trace path must
+				// not see the store. (MovSF is pure, but keeping it with its
+				// store costs little and keeps the store file small.)
+				if o.Kind == ir.Store {
+					for _, j := range splits {
+						addEdge(j, i, -1, 1)
+					}
+				}
+			case ir.Load:
+				if !cfg.SpeculativeLoads {
+					// without the §7 non-trapping opcodes, loads cannot
+					// cross a split either
+					for _, j := range splits {
+						addEdge(j, i, 0, 1)
+					}
+				}
+			case ir.Div, ir.Rem:
+				// integer divide can fault; never speculate it
+				for _, j := range splits {
+					addEdge(j, i, -1, 1)
+				}
+			}
+		}
+	}
+
+	// The final jump must not precede anything: give every op an
+	// instruction-level edge to it so it lands in the last instruction.
+	// Ops that write ORIGINAL registers (the restores) additionally hold
+	// the jump until their writes will have drained by the time the next
+	// block reads (next read beat = jump issue + 2).
+	if g.finalIdx >= 0 {
+		for i := range g.ops {
+			if i == g.finalIdx {
+				continue
+			}
+			mb := -1
+			if g.ops[i].isRestore {
+				if l := opLatency(cfg, &g.ops[i].vop) - 2; l > mb {
+					mb = l
+				}
+			}
+			addEdge(i, g.finalIdx, mb, 0)
+		}
+	}
+
+	// critical-path priorities
+	for i := len(g.ops) - 1; i >= 0; i-- {
+		s := g.ops[i]
+		h := int64(opLatency(cfg, &s.vop))
+		for _, e := range s.succs {
+			mb := e.minBeats
+			if mb < 0 {
+				mb = 0
+			}
+			if v := g.ops[e.to].prio + int64(mb) + 1; v > h {
+				h = v
+			}
+		}
+		s.prio = h
+	}
+}
+
+// joinAtIndex reports whether linear index i is a join position.
+func (g *traceGraph) joinAtIndex(i int) (int, bool) {
+	for _, pos := range g.joinPos {
+		if pos == i {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+// aboveJoinUpTo returns the indices of all ops before linear position pos.
+func aboveJoinUpTo(g *traceGraph, pos int) []int {
+	out := make([]int, 0, pos)
+	for i := 0; i < pos; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// opLatency returns the write latency of an op in beats.
+func opLatency(cfg mach.Config, o *VOp) int {
+	switch o.Kind {
+	case ir.Load, ir.LoadSpec:
+		return cfg.LatLoad
+	case ir.Store:
+		return 1
+	case ir.FAdd, ir.FSub, ir.FNeg, ir.ItoF, ir.FtoI,
+		ir.FCmpEQ, ir.FCmpNE, ir.FCmpLT, ir.FCmpLE, ir.FCmpGT, ir.FCmpGE:
+		return cfg.LatFAdd
+	case ir.FMul:
+		return cfg.LatFMul
+	case ir.FDiv:
+		return cfg.LatFDiv
+	case ir.Mul:
+		// 32-bit integer multiply is composed from the 16-bit primitives of
+		// §6.1; modeled as one 4-beat op (see DESIGN.md substitutions)
+		return 4
+	case ir.Div, ir.Rem:
+		// no integer divide hardware; modeled as a 30-beat iterative op
+		return 30
+	case ir.ConstF:
+		return 2 // two 32-bit immediate halves
+	case ir.Mov, mach.OpMovSF:
+		if o.Type == ir.F64 {
+			return cfg.LatMove * 2
+		}
+		return cfg.LatMove
+	case ir.Select:
+		if o.Type == ir.F64 {
+			return 2
+		}
+		return 1
+	case mach.OpCall:
+		return 1
+	}
+	return cfg.LatIALU
+}
+
+// formTracker adapts vops (whose operands may be immediates) to the alias
+// package's linear-form derivations.
+type formTracker struct {
+	forms map[VReg]alias.Form
+	gaddr map[string]int64
+	next  int
+}
+
+func newFormTracker(layout map[string]int64) *formTracker {
+	return &formTracker{forms: map[VReg]alias.Form{}, gaddr: layout, next: 1}
+}
+
+// seed installs pre-computed derivations (GlobalForms) for trace live-ins.
+func (t *formTracker) seed(global map[VReg]alias.Form) {
+	for r, f := range global {
+		t.forms[r] = f
+	}
+}
+
+// GlobalForms derives linear forms for registers assigned exactly once in
+// the whole function by constant or affine ops. Loop-invariant code motion
+// hoists array base addresses and strides out of loops, so inside a loop
+// trace they are live-ins; without these function-level derivations the
+// disambiguator would treat two distinct arrays' bases as unrelated unknowns
+// and answer "maybe" for every load/store pair, serializing the loop.
+// A single-assignment register holds the same value at every point after its
+// definition, so the derivation is sound across traces.
+func GlobalForms(vf *VFunc, layout map[string]int64) map[VReg]alias.Form {
+	defs := map[VReg]*VOp{}
+	count := map[VReg]int{}
+	for _, b := range vf.Blocks {
+		for i := range b.Ops {
+			o := &b.Ops[i]
+			if o.Dst != VNone {
+				count[o.Dst]++
+				defs[o.Dst] = o
+			}
+		}
+	}
+	forms := map[VReg]alias.Form{}
+	argForm := func(a VArg) (alias.Form, bool) {
+		if a.IsImm {
+			if a.Sym != "" {
+				if addr, ok := layout[a.Sym]; ok {
+					return alias.ConstForm(addr), true
+				}
+				return alias.Form{}, false
+			}
+			return alias.ConstForm(int64(a.Imm)), true
+		}
+		if a.Reg == VNone {
+			return alias.ConstForm(0), true
+		}
+		f, ok := forms[a.Reg]
+		return f, ok
+	}
+	for changed := true; changed; {
+		changed = false
+		for r, o := range defs {
+			if count[r] != 1 {
+				continue
+			}
+			if _, done := forms[r]; done {
+				continue
+			}
+			var f alias.Form
+			ok := false
+			switch o.Kind {
+			case ir.ConstI:
+				f, ok = argForm(o.A)
+			case ir.Mov:
+				if o.Type == ir.I32 {
+					f, ok = argForm(o.A)
+				}
+			case ir.Add, ir.Sub, ir.Mul, ir.Shl, ir.Neg:
+				a, okA := argForm(o.A)
+				b, okB := argForm(o.B)
+				if okA && okB {
+					ok = true
+					switch o.Kind {
+					case ir.Add:
+						f = a.Add(b)
+					case ir.Sub:
+						f = a.Sub(b)
+					case ir.Mul:
+						switch {
+						case a.IsConst():
+							f = b.Scale(a.Const)
+						case b.IsConst():
+							f = a.Scale(b.Const)
+						default:
+							ok = false
+						}
+					case ir.Shl:
+						if b.IsConst() && b.Const >= 0 && b.Const < 31 {
+							f = a.Scale(1 << uint(b.Const))
+						} else {
+							ok = false
+						}
+					case ir.Neg:
+						f = a.Scale(-1)
+					}
+				}
+			}
+			if ok {
+				forms[r] = f
+				changed = true
+			}
+		}
+	}
+	return forms
+}
+
+func (t *formTracker) fresh() alias.Form {
+	t.next++
+	return alias.VarForm(t.next)
+}
+
+func (t *formTracker) argForm(a VArg) alias.Form {
+	if a.IsImm {
+		if a.Sym != "" {
+			if addr, ok := t.gaddr[a.Sym]; ok {
+				return alias.ConstForm(addr)
+			}
+			return t.fresh()
+		}
+		return alias.ConstForm(int64(a.Imm))
+	}
+	if a.Reg == VNone {
+		return alias.ConstForm(0)
+	}
+	if f, ok := t.forms[a.Reg]; ok {
+		return f
+	}
+	f := t.fresh()
+	t.forms[a.Reg] = f
+	return f
+}
+
+// refOf returns the address form for a memory vop (A = base, B = offset).
+func (t *formTracker) refOf(o *VOp) alias.Ref {
+	base := t.argForm(o.A)
+	off := t.argForm(o.B)
+	return alias.Ref{Addr: base.Add(off), Size: o.Type.Size()}
+}
+
+// note updates derivations after executing o.
+func (t *formTracker) note(o *VOp) {
+	if o.Dst == VNone {
+		return
+	}
+	switch o.Kind {
+	case ir.ConstI:
+		t.forms[o.Dst] = t.argForm(o.A)
+	case ir.Mov:
+		if o.Type == ir.I32 {
+			t.forms[o.Dst] = t.argForm(o.A)
+		} else {
+			t.forms[o.Dst] = t.fresh()
+		}
+	case ir.Add:
+		t.forms[o.Dst] = t.argForm(o.A).Add(t.argForm(o.B))
+	case ir.Sub:
+		t.forms[o.Dst] = t.argForm(o.A).Sub(t.argForm(o.B))
+	case ir.Mul:
+		x, y := t.argForm(o.A), t.argForm(o.B)
+		switch {
+		case x.IsConst():
+			t.forms[o.Dst] = y.Scale(x.Const)
+		case y.IsConst():
+			t.forms[o.Dst] = x.Scale(y.Const)
+		default:
+			t.forms[o.Dst] = t.fresh()
+		}
+	case ir.Shl:
+		y := t.argForm(o.B)
+		if y.IsConst() && y.Const >= 0 && y.Const < 31 {
+			t.forms[o.Dst] = t.argForm(o.A).Scale(1 << uint(y.Const))
+		} else {
+			t.forms[o.Dst] = t.fresh()
+		}
+	case ir.Neg:
+		t.forms[o.Dst] = t.argForm(o.A).Scale(-1)
+	default:
+		t.forms[o.Dst] = t.fresh()
+	}
+}

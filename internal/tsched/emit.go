@@ -1,0 +1,169 @@
+package tsched
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// FuncCode is a compiled function: wide instructions with physical
+// registers. Branch targets are function-local instruction indices; calls
+// and global addresses remain symbolic until the linker runs.
+type FuncCode struct {
+	Name   string
+	Instrs []mach.Instr
+
+	// Stats for the code-size and compensation experiments.
+	Ops       int // real (non-nop) operations
+	CompOps   int
+	CopyOps   int
+	SpecLoads int
+}
+
+// Emit lays out the scheduled blocks (entry first) and rewrites virtual
+// registers to their allocated physical registers.
+func Emit(sf *SFunc, alloc map[VReg]mach.PReg) (*FuncCode, error) {
+	// block order: entry first, then the rest in creation order
+	var orderIDs []int
+	orderIDs = append(orderIDs, sf.Entry)
+	for _, b := range sf.Blocks {
+		if b.ID != sf.Entry {
+			orderIDs = append(orderIDs, b.ID)
+		}
+	}
+	base := map[int]int{}
+	total := 0
+	for _, id := range orderIDs {
+		base[id] = total
+		total += len(sf.Blocks[id].Instrs)
+	}
+
+	fc := &FuncCode{Name: sf.Name, Instrs: make([]mach.Instr, total),
+		CompOps: sf.CompOps, CopyOps: sf.CopyOps, SpecLoads: sf.SpecLoads}
+
+	regOf := func(r VReg) (mach.PReg, error) {
+		if r == VNone {
+			return mach.PReg{}, nil
+		}
+		p, ok := alloc[r]
+		if !ok {
+			return mach.PReg{}, fmt.Errorf("%s: t%d has no physical register", sf.Name, r)
+		}
+		return p, nil
+	}
+	argOf := func(a VArg) (mach.Arg, error) {
+		if a.IsImm {
+			return mach.Arg{IsImm: true, Imm: a.Imm, Sym: a.Sym}, nil
+		}
+		if a.Reg == VNone {
+			return mach.Arg{}, nil
+		}
+		p, err := regOf(a.Reg)
+		return mach.Arg{Reg: p}, err
+	}
+
+	for _, id := range orderIDs {
+		b := sf.Blocks[id]
+		for i := range b.Instrs {
+			src := &b.Instrs[i]
+			dst := &fc.Instrs[base[id]+i]
+			for si := range src.Slots {
+				s := &src.Slots[si]
+				var op mach.Op
+				op.Kind = s.Op.Kind
+				op.Type = s.Op.Type
+				op.FImm = s.Op.ImmF
+				op.Spec = s.Op.Spec
+				op.Prio = s.Prio
+				op.Sym = s.Op.Sym
+				var err error
+				if op.Dst, err = regOf(s.Op.Dst); err != nil {
+					return nil, err
+				}
+				if op.A, err = argOf(s.Op.A); err != nil {
+					return nil, err
+				}
+				if op.B, err = argOf(s.Op.B); err != nil {
+					return nil, err
+				}
+				if op.C, err = argOf(s.Op.C); err != nil {
+					return nil, err
+				}
+				switch s.Op.Kind {
+				case mach.OpJmp, mach.OpBrT:
+					op.Target = base[s.TargetBlock] + s.TargetOff
+				case mach.OpCall:
+					op.Sym = s.Op.Sym // resolved by the linker
+				}
+				dst.Slots = append(dst.Slots, mach.SlotOp{Unit: s.Unit, Beat: s.Beat, Op: op})
+				if s.Op.Kind != ir.Nop {
+					fc.Ops++
+				}
+			}
+		}
+	}
+	return fc, nil
+}
+
+// CompileFunc runs the whole backend on one lowered function.
+func CompileFunc(cfg mach.Config, vf *VFunc, prof map[[2]int]float64, layout map[string]int64, maxTraceBlocks int) (*FuncCode, error) {
+	sf, err := Assemble(cfg, vf, prof, layout, maxTraceBlocks)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := Allocate(sf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Emit(sf, alloc)
+}
+
+// Compile lowers and schedules every function of the program for the given
+// machine, using prof for trace selection. It modifies prog (call spills);
+// callers pass a private copy. Functions whose register demand overflows a
+// bank are retried with shorter traces before the error is surfaced.
+func Compile(prog *ir.Program, cfg mach.Config, prof ir.Profile) ([]*FuncCode, error) {
+	return CompileWithLimit(prog, cfg, prof, 0)
+}
+
+// CompileWithLimit is Compile with a trace-length cap (0 = unlimited);
+// maxTraceBlocks = 1 restricts compaction to basic blocks.
+func CompileWithLimit(prog *ir.Program, cfg mach.Config, prof ir.Profile, maxTraceBlocks int) ([]*FuncCode, error) {
+	layout, _ := ir.LayoutGlobals(prog)
+	ladder := []int{0, 6, 2, 1}
+	if maxTraceBlocks > 0 {
+		ladder = []int{}
+		for _, m := range []int{maxTraceBlocks, 2, 1} {
+			if m <= maxTraceBlocks {
+				ladder = append(ladder, m)
+			}
+		}
+	}
+	var out []*FuncCode
+	for _, f := range prog.Funcs {
+		vf, err := LowerFunc(prog, f, f.Name == "main")
+		if err != nil {
+			return nil, err
+		}
+		var fc *FuncCode
+		for _, maxBlocks := range ladder {
+			fc, err = CompileFunc(cfg, vf, prof[f.Name], layout, maxBlocks)
+			if err == nil {
+				break
+			}
+			if _, pressure := err.(*ErrPressure); !pressure {
+				return nil, err
+			}
+			if os.Getenv("TSCHED_DEBUG") != "" {
+				fmt.Fprintf(os.Stderr, "tsched: %s: %v; retrying with traces <= %d blocks\n", f.Name, err, maxBlocks)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fc)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package tsched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/profile"
+)
+
+// randomBranchy builds a random but well-formed MF function so lowering is
+// exercised exactly as production code paths would (random raw CFGs can't be
+// lowered: LowerFunc needs the calling-convention prologue the front end
+// establishes).
+func randomBranchy(rng *rand.Rand) *ir.Program {
+	var b strings.Builder
+	b.WriteString("var g [16]int\nfunc main() int {\n\tvar s int = 1\n")
+	depth := 0
+	n := 6 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "\tfor (var i%d int = 0; i%d < %d; i%d = i%d + 1) {\n", i, i, 2+rng.Intn(9), i, i)
+			fmt.Fprintf(&b, "\t\ts = s + i%d\n", i)
+			depth++
+			if rng.Intn(2) == 0 || depth > 2 {
+				b.WriteString("\t}\n")
+				depth--
+			}
+		case 1:
+			fmt.Fprintf(&b, "\tif (s %% %d == 0) { s = s + %d } else { s = s * 3 }\n", 2+rng.Intn(5), rng.Intn(7))
+		case 2:
+			fmt.Fprintf(&b, "\tg[s & 15] = s\n")
+		case 3:
+			fmt.Fprintf(&b, "\ts = s + g[%d]\n", rng.Intn(16))
+		default:
+			fmt.Fprintf(&b, "\tif (s > %d) { s = s - %d }\n", rng.Intn(1000), 1+rng.Intn(9))
+		}
+	}
+	for ; depth > 0; depth-- {
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("\treturn s & 65535\n}\n")
+	prog, err := lang.Compile(b.String())
+	if err != nil {
+		panic(fmt.Sprintf("generator produced invalid MF: %v\n%s", err, b.String()))
+	}
+	return prog
+}
+
+// TestSelectTracesProperties checks the trace-selection invariants on random
+// control flow: every block lands in exactly one trace; each trace is a real
+// path through the CFG; a back edge never re-enters the middle of a trace
+// (§4.2's restriction that keeps compensation code sound); and the maxBlocks
+// cap is respected.
+func TestSelectTracesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1987))
+	for trial := 0; trial < 120; trial++ {
+		prog := randomBranchy(rng)
+		f := prog.Funcs[0]
+		vf, err := LowerFunc(prog, f, true)
+		if err != nil {
+			t.Fatalf("trial %d: lower: %v", trial, err)
+		}
+		prof := profile.Static(prog)
+		maxBlocks := 0
+		if trial%3 == 1 {
+			maxBlocks = 1
+		} else if trial%3 == 2 {
+			maxBlocks = 2 + rng.Intn(4)
+		}
+		traces := SelectTraces(vf, prof[f.Name], maxBlocks)
+
+		seen := make(map[int]int)
+		for ti, tr := range traces {
+			if len(tr.Blocks) == 0 {
+				t.Fatalf("trial %d: empty trace %d", trial, ti)
+			}
+			if maxBlocks > 0 && len(tr.Blocks) > maxBlocks {
+				t.Fatalf("trial %d: trace %d has %d blocks, cap %d",
+					trial, ti, len(tr.Blocks), maxBlocks)
+			}
+			inTrace := make(map[int]int)
+			for pos, bid := range tr.Blocks {
+				if prev, dup := seen[bid]; dup {
+					t.Fatalf("trial %d: block %d in traces %d and %d", trial, bid, prev, ti)
+				}
+				seen[bid] = ti
+				inTrace[bid] = pos
+			}
+			for i := 0; i+1 < len(tr.Blocks); i++ {
+				succs := vf.Blocks[tr.Blocks[i]].Succs()
+				found := false
+				for _, s := range succs {
+					if s == tr.Blocks[i+1] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d trace %d: %d -> %d is not a CFG edge",
+						trial, ti, tr.Blocks[i], tr.Blocks[i+1])
+				}
+			}
+			// no edge from inside the trace may target a non-head trace
+			// member earlier than or equal to its own position (a back edge
+			// into the middle would make join compensation unsound)
+			for pos, bid := range tr.Blocks {
+				for _, s := range vf.Blocks[bid].Succs() {
+					if tp, ok := inTrace[s]; ok && tp != pos+1 && tp != 0 && tp <= pos {
+						t.Fatalf("trial %d trace %d: back edge %d(pos %d) -> %d(pos %d) into trace middle",
+							trial, ti, bid, pos, s, tp)
+					}
+				}
+			}
+		}
+		for bid := range vf.Blocks {
+			if _, ok := seen[bid]; !ok {
+				t.Fatalf("trial %d: block %d in no trace", trial, bid)
+			}
+		}
+		// the entry block has no predecessors, so it can only ever sit at
+		// the head of its trace (traces grow backward through predecessors)
+		for ti, tr := range traces {
+			for pos, bid := range tr.Blocks {
+				if bid == 0 && pos != 0 {
+					t.Fatalf("trial %d: entry block at position %d of trace %d", trial, pos, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockWeightsPositive: every reachable block gets a positive weight and
+// the entry weight is the largest... not necessarily — but entry is >= 1 and
+// loop bodies outweigh their preheaders under the static profile.
+func TestBlockWeightsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		prog := randomBranchy(rng)
+		f := prog.Funcs[0]
+		vf, err := LowerFunc(prog, f, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := profile.Static(prog)
+		w := BlockWeights(vf, prof[f.Name])
+		if len(w) != len(vf.Blocks) {
+			t.Fatalf("trial %d: %d weights for %d blocks", trial, len(w), len(vf.Blocks))
+		}
+		for bid, wt := range w {
+			if wt < 0 {
+				t.Fatalf("trial %d: block %d has negative weight %v", trial, bid, wt)
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package tsched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// Allocate maps every virtual register of the scheduled function onto a
+// physical register in its home bank, by graph coloring over
+// instruction-level liveness. The calling convention's registers are
+// reserved out of the pools, so precolored virtuals never collide with
+// allocated ones. An ErrPressure return means a bank ran out of registers;
+// the driver retries with gentler optimization settings.
+func Allocate(sf *SFunc, cfg mach.Config) (map[VReg]mach.PReg, error) {
+	lv := computeSchedLiveness(sf)
+	live := lv.After
+
+	// interference graph, per (class, board)
+	type node struct {
+		neighbors map[VReg]bool
+	}
+	nodes := map[VReg]*node{}
+	getNode := func(r VReg) *node {
+		n := nodes[r]
+		if n == nil {
+			n = &node{neighbors: map[VReg]bool{}}
+			nodes[r] = n
+		}
+		return n
+	}
+	vf := sf.VF
+	sameBank := func(a, b VReg) bool {
+		return vf.Class(a) == vf.Class(b) && sf.Home[a] == sf.Home[b]
+	}
+	addEdge := func(a, b VReg) {
+		if a == b || !sameBank(a, b) {
+			return
+		}
+		getNode(a).neighbors[b] = true
+		getNode(b).neighbors[a] = true
+	}
+
+	var order []VReg
+	seen := map[VReg]bool{}
+	touch := func(r VReg) {
+		if r != VNone && !seen[r] {
+			seen[r] = true
+			order = append(order, r)
+			getNode(r)
+		}
+	}
+
+	addSet := func(d VReg, set ir.RegSet) {
+		for w := 0; w < len(set); w++ {
+			bits := set[w]
+			for ; bits != 0; bits &= bits - 1 {
+				r := VReg(w*64 + trailingZeros(bits))
+				addEdge(d, r)
+			}
+		}
+	}
+	// conflictWindow makes def d interfere with everything live at or
+	// defined/read in instructions [off, off+rem] of block b — the window
+	// during which d's pipeline write is still in flight. The §6.2 rule:
+	// "the target register of any pipelined operation is in use from the
+	// beat in which the operation is initiated until the beat in which it
+	// is defined to be written" — and control may branch meanwhile, so the
+	// walk follows branch targets with the remaining flight time.
+	type wkey struct{ block, off, rem int }
+	var conflictWindow func(d VReg, b *SBlock, off, rem int, seen map[wkey]bool)
+	conflictWindow = func(d VReg, b *SBlock, off, rem int, seen map[wkey]bool) {
+		k := wkey{b.ID, off, rem}
+		if seen[k] || rem < 0 {
+			return
+		}
+		seen[k] = true
+		if off < len(lv.Before[b.ID]) {
+			addSet(d, lv.Before[b.ID][off])
+		}
+		for i := off; i <= off+rem && i < len(b.Instrs); i++ {
+			for si := range b.Instrs[i].Slots {
+				s := &b.Instrs[i].Slots[si]
+				if s.Op.Dst != VNone {
+					addEdge(d, s.Op.Dst)
+				}
+				for _, u := range s.Op.Uses() {
+					addEdge(d, u)
+				}
+				switch s.Op.Kind {
+				case mach.OpJmp, mach.OpBrT:
+					tb := sf.Blocks[s.TargetBlock]
+					conflictWindow(d, tb, s.TargetOff, off+rem-i-1, seen)
+				}
+			}
+		}
+	}
+
+	for _, b := range sf.Blocks {
+		ls := live[b.ID]
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			cur := ls[i]
+			for si := range in.Slots {
+				op := &in.Slots[si].Op
+				touch(op.Dst)
+				for _, u := range op.Uses() {
+					touch(u)
+				}
+				if op.Dst == VNone {
+					continue
+				}
+				// def interferes with everything live after this instr,
+				// and with other defs in the same instruction
+				addSet(op.Dst, cur)
+				for sj := range in.Slots {
+					if sj != si && in.Slots[sj].Op.Dst != VNone {
+						addEdge(op.Dst, in.Slots[sj].Op.Dst)
+					}
+					// A write can land mid-instruction (e.g. a 1-beat op
+					// issued in the early beat writes before the late
+					// beat's reads), so a def also interferes with every
+					// register read anywhere in the same instruction.
+					for _, u := range in.Slots[sj].Op.Uses() {
+						addEdge(op.Dst, u)
+					}
+				}
+				// In-flight extension: the write lands flight instructions
+				// later; everything executed until then — along any path
+				// control takes — must not share the register.
+				flight := (vopLatencyOfSlot(cfg, &in.Slots[si]) + 1 + int(in.Slots[si].Beat)) / 2
+				if flight > 0 {
+					conflictWindow(op.Dst, b, i, flight, map[wkey]bool{})
+				}
+			}
+		}
+	}
+
+	// pools
+	reservedI0 := map[uint8]bool{
+		mach.RegSP.Idx: true, mach.RegLR.Idx: true, mach.RegRVI.Idx: true,
+	}
+	for i := 0; i < mach.MaxArgs; i++ {
+		reservedI0[uint8(mach.ArgIBase+i)] = true
+	}
+	reservedF0 := map[uint8]bool{mach.RegRVF.Idx: true}
+	for i := 0; i < mach.MaxArgs; i++ {
+		reservedF0[uint8(mach.ArgFBase+i)] = true
+	}
+	pool := func(r VReg) []uint8 {
+		var n int
+		var excl map[uint8]bool
+		board := sf.Home[r]
+		switch vf.Class(r) {
+		case ClassI:
+			n = cfg.IRegsPerBank
+			if board == 0 {
+				excl = reservedI0
+			}
+		case ClassF:
+			n = cfg.FRegsPerBank
+			if board == 0 {
+				excl = reservedF0
+			}
+		case ClassSF:
+			n = cfg.StoreFile
+		case ClassB:
+			n = cfg.BranchBank
+		default:
+			return nil
+		}
+		out := make([]uint8, 0, n)
+		for i := 0; i < n; i++ {
+			if excl == nil || !excl[uint8(i)] {
+				out = append(out, uint8(i))
+			}
+		}
+		return out
+	}
+	bankOf := func(c Class) mach.Bank {
+		switch c {
+		case ClassI:
+			return mach.BankI
+		case ClassF:
+			return mach.BankF
+		case ClassSF:
+			return mach.BankSF
+		case ClassB:
+			return mach.BankB
+		}
+		return mach.BankNone
+	}
+
+	alloc := map[VReg]mach.PReg{}
+	for r, p := range vf.precolor {
+		alloc[r] = p
+	}
+	// color high-degree nodes first for better packing
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(nodes[order[a]].neighbors) > len(nodes[order[b]].neighbors)
+	})
+	for _, r := range order {
+		if _, done := alloc[r]; done {
+			continue
+		}
+		cls := vf.Class(r)
+		if cls == ClassNone {
+			continue
+		}
+		taken := map[uint8]bool{}
+		for nb := range nodes[r].neighbors {
+			if p, ok := alloc[nb]; ok {
+				taken[p.Idx] = true
+			}
+		}
+		var chosen *uint8
+		for _, idx := range pool(r) {
+			if !taken[idx] {
+				i := idx
+				chosen = &i
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, &ErrPressure{Func: sf.Name, Class: cls, Board: sf.Home[r]}
+		}
+		alloc[r] = mach.PReg{Bank: bankOf(cls), Board: sf.Home[r], Idx: *chosen}
+	}
+	return alloc, nil
+}
+
+// ErrPressure reports a register bank that ran out of colors.
+type ErrPressure struct {
+	Func  string
+	Class Class
+	Board uint8
+}
+
+func (e *ErrPressure) Error() string {
+	return fmt.Sprintf("%s: out of %s registers on board %d", e.Func, e.Class, e.Board)
+}
+
+// vopLatencyOfSlot returns the slot op's write latency in beats.
+func vopLatencyOfSlot(cfg mach.Config, s *SSlot) int {
+	return opLatency(cfg, &s.Op)
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// schedLiveness holds instruction-level liveness: After[b][i] = registers
+// live following Instrs[i] of block b; Before[b][i] = live entering it
+// (Before has len(Instrs)+1 entries).
+type schedLiveness struct {
+	After  map[int][]ir.RegSet
+	Before map[int][]ir.RegSet
+}
+
+// computeSchedLiveness computes instruction-level liveness. Branch slots
+// make their target instruction's live-in flow into the branch's own
+// instruction.
+func computeSchedLiveness(sf *SFunc) *schedLiveness {
+	nr := sf.VF.NumRegs()
+	liveAfter := map[int][]ir.RegSet{}
+	liveBefore := map[int][]ir.RegSet{}
+	for _, b := range sf.Blocks {
+		liveAfter[b.ID] = make([]ir.RegSet, len(b.Instrs))
+		liveBefore[b.ID] = make([]ir.RegSet, len(b.Instrs)+1)
+		for i := range liveAfter[b.ID] {
+			liveAfter[b.ID][i] = ir.NewRegSet(nr)
+		}
+		for i := range liveBefore[b.ID] {
+			liveBefore[b.ID][i] = ir.NewRegSet(nr)
+		}
+	}
+	implicit := implicitUses(sf.VF)
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range sf.Blocks {
+			la := liveAfter[b.ID]
+			lb := liveBefore[b.ID]
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := &b.Instrs[i]
+				out := la[i].Clone()
+				// fallthrough
+				out.UnionWith(lb[i+1])
+				// branch targets
+				for si := range in.Slots {
+					s := &in.Slots[si]
+					switch s.Op.Kind {
+					case mach.OpJmp, mach.OpBrT:
+						tb := liveBefore[s.TargetBlock]
+						if s.TargetOff < len(tb) {
+							out.UnionWith(tb[s.TargetOff])
+						}
+					}
+				}
+				if !setsEqual(out, la[i]) {
+					la[i] = out
+					changed = true
+				}
+				// in = (out - defs) ∪ uses ∪ implicit
+				cur := out.Clone()
+				for si := range in.Slots {
+					if d := in.Slots[si].Op.Dst; d != VNone {
+						cur.Remove(ir.Reg(d))
+					}
+				}
+				for si := range in.Slots {
+					s := &in.Slots[si]
+					for _, u := range s.Op.Uses() {
+						cur.Add(ir.Reg(u))
+					}
+					for _, u := range implicit(&s.Op) {
+						cur.Add(ir.Reg(u))
+					}
+				}
+				if !setsEqual(cur, lb[i]) {
+					lb[i] = cur
+					changed = true
+				}
+			}
+		}
+	}
+	return &schedLiveness{After: liveAfter, Before: liveBefore}
+}
+
+// implicitUses returns the convention registers an op consumes beyond its
+// explicit operands: returns read the return-value registers and LR, calls
+// read the argument registers and SP, syscalls read the first arguments,
+// halt reads the integer return register.
+func implicitUses(vf *VFunc) func(*VOp) []VReg {
+	var argRegs []VReg
+	argRegs = append(argRegs, vf.ArgI...)
+	argRegs = append(argRegs, vf.ArgF...)
+	return func(o *VOp) []VReg {
+		switch o.Kind {
+		case mach.OpCall:
+			return append(append([]VReg{}, argRegs...), vf.SP)
+		case mach.OpJmpR:
+			return []VReg{vf.RVI, vf.RVF}
+		case mach.OpHalt:
+			return []VReg{vf.RVI}
+		case mach.OpSyscall:
+			return []VReg{vf.ArgI[0], vf.ArgF[0]}
+		}
+		return nil
+	}
+}
+
+func setsEqual(a, b ir.RegSet) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

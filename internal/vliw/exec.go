@@ -1,0 +1,318 @@
+package vliw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// latencies mirrors the scheduler's timing model; the two must agree or the
+// interlock-free machine reads stale registers.
+func latency(cfg mach.Config, o *mach.Op) int {
+	switch o.Kind {
+	case ir.Load, ir.LoadSpec:
+		return cfg.LatLoad
+	case ir.FAdd, ir.FSub, ir.FNeg, ir.ItoF, ir.FtoI,
+		ir.FCmpEQ, ir.FCmpNE, ir.FCmpLT, ir.FCmpLE, ir.FCmpGT, ir.FCmpGE:
+		return cfg.LatFAdd
+	case ir.FMul:
+		return cfg.LatFMul
+	case ir.FDiv:
+		return cfg.LatFDiv
+	case ir.Mul:
+		return 4
+	case ir.Div, ir.Rem:
+		return 30
+	case ir.ConstF:
+		return 2
+	case ir.Mov, mach.OpMovSF:
+		if o.Type == ir.F64 {
+			return cfg.LatMove * 2
+		}
+		return cfg.LatMove
+	case ir.Select:
+		if o.Type == ir.F64 {
+			return 2
+		}
+		return 1
+	}
+	return cfg.LatIALU
+}
+
+// execBranch handles branch-unit ops. It returns the branch target if the
+// op wants control (−1 otherwise) and the halt value for OpHalt.
+func (m *Machine) execBranch(o *mach.Op) (int, *int32, error) {
+	switch o.Kind {
+	case mach.OpBrT:
+		m.Stats.Branches++
+		if m.readArg(o.A) != 0 {
+			return o.Target, nil, nil
+		}
+		return -1, nil, nil
+	case mach.OpJmp:
+		m.Stats.Branches++
+		return o.Target, nil, nil
+	case mach.OpCall:
+		m.Stats.Branches++
+		// link register receives the return address
+		m.enqueue(mach.RegLR, uint64(uint32(m.pc+1)), 1)
+		return o.Target, nil, nil
+	case mach.OpJmpR:
+		m.Stats.Branches++
+		return int(int32(uint32(m.readArg(o.A)))), nil, nil
+	case mach.OpHalt:
+		v := int32(m.iregs[mach.RegRVI.Board][mach.RegRVI.Idx])
+		return -1, &v, nil
+	case mach.OpSyscall:
+		m.Stats.Syscalls++
+		switch o.Sym {
+		case "print_i":
+			fmt.Fprintf(&m.out, "%d\n", int32(m.iregs[0][mach.ArgIBase]))
+		case "print_f":
+			fmt.Fprintf(&m.out, "%g\n", math.Float64frombits(m.fregs[0][mach.ArgFBase]))
+		default:
+			return -1, nil, m.fault("unknown syscall %q", o.Sym)
+		}
+		return -1, nil, nil
+	}
+	return -1, nil, m.fault("%s on branch unit", mach.OpName(o.Kind))
+}
+
+// execOp executes one ALU/F/memory operation, enqueuing its register write
+// at issue+latency.
+func (m *Machine) execOp(o *mach.Op) error {
+	cfg := m.Cfg
+	lat := latency(cfg, o)
+	seti := func(v int32) { m.enqueue(o.Dst, uint64(uint32(v)), lat) }
+	setf := func(v float64) { m.enqueue(o.Dst, math.Float64bits(v), lat) }
+	setb := func(v bool) {
+		if v {
+			seti(1)
+		} else {
+			seti(0)
+		}
+	}
+	a := func() int32 { return m.readI(o.A) }
+	b := func() int32 { return m.readI(o.B) }
+	fa := func() float64 { return m.readF(o.A) }
+	fb := func() float64 { return m.readF(o.B) }
+
+	switch o.Kind {
+	case ir.Nop:
+	case ir.ConstI:
+		seti(m.readI(o.A))
+	case ir.ConstF:
+		setf(o.FImm)
+	case ir.Mov, mach.OpMovSF:
+		m.enqueue(o.Dst, m.readArg(o.A), lat)
+	case ir.Add:
+		seti(a() + b())
+	case ir.Sub:
+		seti(a() - b())
+	case ir.Mul:
+		seti(a() * b())
+	case ir.Div:
+		d := b()
+		if d == 0 {
+			return m.fault("integer divide by zero")
+		}
+		seti(a() / d)
+	case ir.Rem:
+		d := b()
+		if d == 0 {
+			return m.fault("integer remainder by zero")
+		}
+		seti(a() % d)
+	case ir.And:
+		seti(a() & b())
+	case ir.Or:
+		seti(a() | b())
+	case ir.Xor:
+		seti(a() ^ b())
+	case ir.Shl:
+		seti(a() << (uint32(b()) & 31))
+	case ir.Shr:
+		seti(int32(uint32(a()) >> (uint32(b()) & 31)))
+	case ir.Sra:
+		seti(a() >> (uint32(b()) & 31))
+	case ir.Neg:
+		seti(-a())
+	case ir.Not:
+		seti(^a())
+	case ir.CmpEQ:
+		setb(a() == b())
+	case ir.CmpNE:
+		setb(a() != b())
+	case ir.CmpLT:
+		setb(a() < b())
+	case ir.CmpLE:
+		setb(a() <= b())
+	case ir.CmpGT:
+		setb(a() > b())
+	case ir.CmpGE:
+		setb(a() >= b())
+	case ir.FAdd:
+		m.Stats.FloatOps++
+		setf(fa() + fb())
+	case ir.FSub:
+		m.Stats.FloatOps++
+		setf(fa() - fb())
+	case ir.FMul:
+		m.Stats.FloatOps++
+		setf(fa() * fb())
+	case ir.FDiv:
+		m.Stats.FloatOps++
+		setf(fa() / fb()) // fast mode: NaN/Inf propagate, no trap (§7)
+	case ir.FNeg:
+		setf(-fa())
+	case ir.FCmpEQ:
+		setb(fa() == fb())
+	case ir.FCmpNE:
+		setb(fa() != fb())
+	case ir.FCmpLT:
+		setb(fa() < fb())
+	case ir.FCmpLE:
+		setb(fa() <= fb())
+	case ir.FCmpGT:
+		setb(fa() > fb())
+	case ir.FCmpGE:
+		setb(fa() >= fb())
+	case ir.ItoF:
+		setf(float64(a()))
+	case ir.FtoI:
+		v := fa()
+		if math.IsNaN(v) || v > math.MaxInt32 || v < math.MinInt32 {
+			seti(int32(ir.FunnyI32))
+		} else {
+			seti(int32(v))
+		}
+	case ir.Select:
+		// condition from the branch bank (A); B = then, C = else
+		if m.readArg(o.A) != 0 {
+			m.enqueue(o.Dst, m.readArg(o.B), lat)
+		} else {
+			m.enqueue(o.Dst, m.readArg(o.C), lat)
+		}
+	case ir.Load, ir.LoadSpec:
+		return m.execLoad(o, lat)
+	case ir.Store:
+		return m.execStore(o)
+	default:
+		return m.fault("cannot execute %s", mach.OpName(o.Kind))
+	}
+	return nil
+}
+
+func (m *Machine) execLoad(o *mach.Op, lat int) error {
+	m.Stats.MemRefs++
+	m.Stats.Loads++
+	ea, _ := m.eaOf(o)
+	size := o.Type.Size()
+	if o.Kind == ir.LoadSpec {
+		m.Stats.SpecLoads++
+	}
+	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) {
+		if o.Kind == ir.LoadSpec {
+			// §7: no valid translation — execution continues; the target
+			// register is loaded with a "funny number" to help catch bugs
+			m.Stats.SpecFaults++
+			if o.Type == ir.I32 {
+				funny := int32(ir.FunnyI32)
+				m.enqueue(o.Dst, uint64(uint32(funny)), lat)
+			} else {
+				m.enqueue(o.Dst, math.Float64bits(math.NaN()), lat)
+			}
+			return nil
+		}
+		return m.fault("bus error: load %#x", ea)
+	}
+	m.touchBank(ea)
+	var v uint64
+	if o.Type == ir.I32 {
+		v = uint64(binary.LittleEndian.Uint32(m.Mem[ea:]))
+	} else {
+		v = binary.LittleEndian.Uint64(m.Mem[ea:])
+	}
+	m.enqueue(o.Dst, v, lat)
+	return nil
+}
+
+func (m *Machine) execStore(o *mach.Op) error {
+	m.Stats.MemRefs++
+	m.Stats.Stores++
+	ea, _ := m.eaOf(o)
+	size := o.Type.Size()
+	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) {
+		return m.fault("bus error: store %#x", ea)
+	}
+	m.touchBank(ea)
+	v := m.readArg(o.C) // data comes from the store file (§6.2)
+	if o.Type == ir.I32 {
+		v = uint64(uint32(v))
+		binary.LittleEndian.PutUint32(m.Mem[ea:], uint32(v))
+	} else {
+		binary.LittleEndian.PutUint64(m.Mem[ea:], v)
+	}
+	if m.WatchStore != nil {
+		m.WatchStore(ea, v)
+	}
+	return nil
+}
+
+// touchBank marks the reference's RAM bank busy for BankBusyBeats.
+func (m *Machine) touchBank(ea int64) {
+	ctrl, bank := m.Cfg.BankOf(ea)
+	id := ctrl*8 + bank
+	m.bankBusy[id] = m.beat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
+}
+
+// checkBeatResources verifies the §6 static resource plan for one beat of
+// the instruction: ALU slot uniqueness, register-file port limits, bus
+// counts, and the one-reference-per-I-board rule. Any overflow is a
+// compiler bug surfacing as a hardware fault.
+func (m *Machine) checkBeatResources(in *mach.Instr, beat uint8) error {
+	reads := map[uint8]int{}
+	memPerBoard := map[uint8]int{}
+	pa := 0
+	units := map[mach.Unit]bool{}
+	for si := range in.Slots {
+		s := &in.Slots[si]
+		if s.Beat != beat {
+			continue
+		}
+		key := s.Unit
+		if s.Unit.Kind == mach.UIALU {
+			// distinct (unit, beat) handled by Beat filter
+		}
+		if units[key] {
+			return m.fault("two ops on unit %s in one beat", s.Unit)
+		}
+		units[key] = true
+		for _, a := range []mach.Arg{s.Op.A, s.Op.B, s.Op.C} {
+			if !a.IsImm && a.Reg.Valid() {
+				reads[s.Unit.Pair]++
+			}
+		}
+		if isMemOp(s.Op.Kind) {
+			memPerBoard[s.Unit.Pair]++
+			pa++
+		}
+	}
+	for b, n := range reads {
+		if n > m.Cfg.RFReadPorts {
+			return m.fault("board %d: %d register reads in one beat (max %d)", b, n, m.Cfg.RFReadPorts)
+		}
+	}
+	for b, n := range memPerBoard {
+		if n > 1 {
+			return m.fault("board %d initiated %d memory references in one beat", b, n)
+		}
+	}
+	if pa > m.Cfg.PABuses {
+		return m.fault("%d physical-address bus uses in one beat (max %d)", pa, m.Cfg.PABuses)
+	}
+	return nil
+}

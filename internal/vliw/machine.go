@@ -1,0 +1,580 @@
+// Package vliw is the beat-accurate TRACE simulator. It executes the
+// decoded instruction image produced by the isa linker, modeling the
+// machine of §6: two beats per instruction, self-draining functional-unit
+// and memory pipelines, partitioned register banks, the interleaved banked
+// memory with the bank-stall mechanism (§6.4.4), the distributed
+// instruction cache with mask-word refill (§6.5), data and instruction TLBs
+// with trap-and-replay history queues (§6.4.3), and the priority multiway
+// branch (§6.5.2).
+//
+// The hardware has no interlocks, so the simulator doubles as a verifier:
+// register-file port overflows, bus oversubscription, and write-write races
+// fault the machine — exactly the failures the real TRACE would exhibit if
+// the compiler's static resource plan were wrong.
+package vliw
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// Stats counts everything the experiments need.
+type Stats struct {
+	Beats          int64
+	Instrs         int64
+	Ops            int64 // non-nop operations initiated
+	FloatOps       int64 // floating arithmetic initiated (for MFLOPS)
+	MemRefs        int64
+	Loads          int64
+	Stores         int64
+	SpecLoads      int64 // speculative loads executed
+	SpecFaults     int64 // speculative loads that returned the funny number
+	BankStalls     int64 // beats lost to the bank-stall mechanism
+	ICacheMiss     int64
+	ICacheHits     int64
+	RefillBeats    int64 // beats lost to instruction cache refill
+	TLBMisses      int64
+	TrapBeats      int64 // beats spent in the TLB-miss trap handler
+	Branches       int64
+	Taken          int64
+	Syscalls       int64
+	Interrupts     int64
+	InterruptBeats int64
+	Switches       int64 // explicit ContextSwitch calls
+	SwitchBeats    int64 // beats charged to state save/restore
+	DMARefs        int64 // 64-bit memory references issued by the IOP
+}
+
+// MIPS returns achieved operations per second in millions.
+func (s *Stats) MIPS() float64 {
+	if s.Beats == 0 {
+		return 0
+	}
+	return float64(s.Ops) / (float64(s.Beats) * mach.BeatNs * 1e-3)
+}
+
+// MFLOPS returns achieved floating operations per second in millions.
+func (s *Stats) MFLOPS() float64 {
+	if s.Beats == 0 {
+		return 0
+	}
+	return float64(s.FloatOps) / (float64(s.Beats) * mach.BeatNs * 1e-3)
+}
+
+// Fault is a hardware-detectable error: a resource conflict the compiler
+// should have prevented, or a memory violation.
+type Fault struct {
+	PC   int
+	Beat int64
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("machine fault at pc=%d beat=%d: %s", f.PC, f.Beat, f.Msg)
+}
+
+// Trap cost model (beats), standing in for the §6.4.3 trap handler code:
+// entry/exit (register save, mode switch) plus per-miss history-queue
+// replay. "A few hand-coded instructions begin saving registers while the
+// pipelines drain; after several instruction times we enter C code" (§8.2).
+const (
+	TrapEntryBeats  = 40
+	TrapPerMissBeat = 12
+	PageSize        = 8192
+	TLBEntries      = 4096
+)
+
+type pendingWrite struct {
+	beat int64
+	dst  mach.PReg
+	val  uint64
+	spec bool // for stats
+}
+
+// Machine is one TRACE processor with its memory system.
+type Machine struct {
+	Cfg mach.Config
+	Img *isa.Image
+	Mem []byte
+
+	// Architectural state.
+	iregs [4][64]uint32
+	fregs [4][32]uint64
+	sf    [4][16]uint64
+	bb    [4][8]bool
+
+	pc      int
+	beat    int64
+	pending []pendingWrite
+	out     bytes.Buffer
+	halted  bool
+	exit    int32
+
+	bankBusy map[int]int64 // bank id -> busy until beat
+
+	// I/O processor DMA stream (§8.3), active when dmaRate > 0.
+	dmaRate   float64 // bytes per second
+	dmaBase   int64
+	dmaLen    int64
+	dmaIssued int64 // 64-bit references issued so far
+
+	// Instruction cache: direct-mapped, ICacheInstrs entries, tag = address.
+	itags  []int
+	iasids []uint8
+	// Data and instruction TLBs: direct-mapped by virtual page number.
+	dtlb      []int64
+	dtlbAsids []uint8
+	itlb      []int64
+	itlbAsids []uint8
+	asid      uint8
+
+	// FlushOnSwitch models a machine WITHOUT process tags: every context
+	// switch purges the caches and TLBs (the Section 8.1 counterfactual;
+	// the real machine tags entries so "no purging is necessary").
+	FlushOnSwitch bool
+
+	// Verification counters for the current beat.
+	wrCount  map[[2]int]int // (board, beatParity) writes this beat
+	StepLim  int64
+	Stats    Stats
+	CheckRes bool // verify port/bus limits (off for Ideal)
+
+	// TraceFn, when set, is called before each instruction with the PC and
+	// current beat (debugging aid; also used by cmd/tracesim -trace).
+	TraceFn func(pc int, beat int64)
+	// WatchStore, when set, observes every store (address, raw value).
+	WatchStore func(ea int64, val uint64)
+
+	// InterruptEvery, when > 0, delivers a timer interrupt every that many
+	// beats (§8.2: "when an enabled interrupt request arrives, execution
+	// suspends ... since the pipelines are self-draining, after the maximum
+	// pipe depth time, all of the state of the processor is either in
+	// general registers or in main memory"). Each delivery costs
+	// InterruptBeats (drain + save + C handler + restore).
+	InterruptEvery int64
+	// OnInterrupt, when set, runs inside each timer interrupt (after the
+	// handler cost is charged). The OS scheduler lives here: calling
+	// m.ContextSwitch from the hook models a timeslice ending.
+	OnInterrupt func(m *Machine)
+	// InterruptBeats is the cost per interrupt (default 200 if unset).
+	InterruptBeats int64
+	nextInterrupt  int64
+}
+
+// New creates a machine for the image with a fresh memory.
+func New(img *isa.Image) *Machine {
+	m := &Machine{
+		Cfg:      img.Cfg,
+		Img:      img,
+		Mem:      make([]byte, img.RequiredMem()),
+		bankBusy: map[int]int64{},
+		StepLim:  2_000_000_000,
+		CheckRes: !img.Cfg.Ideal,
+	}
+	m.itags = make([]int, img.Cfg.ICacheInstrs)
+	m.iasids = make([]uint8, img.Cfg.ICacheInstrs)
+	for i := range m.itags {
+		m.itags[i] = -1
+	}
+	m.dtlb = make([]int64, TLBEntries)
+	m.itlb = make([]int64, TLBEntries)
+	m.dtlbAsids = make([]uint8, TLBEntries)
+	m.itlbAsids = make([]uint8, TLBEntries)
+	for i := range m.dtlb {
+		m.dtlb[i] = -1
+		m.itlb[i] = -1
+	}
+	return m
+}
+
+// Output returns the output printed so far.
+func (m *Machine) Output() string { return m.out.String() }
+
+// StartDMA starts the I/O processor streaming into the byte range
+// [base, base+n), wrapping circularly, at rate bytes per second. The IOP
+// moves 64-bit doublewords and contends with the CPU through the ordinary
+// bank-busy mechanism, so I/O load surfaces as CPU bank stalls — cycle
+// stealing, exactly as Section 8.3 describes. The engine is capped at half
+// of peak memory bandwidth, the paper's stated IOP limit.
+func (m *Machine) StartDMA(base, n int64, rate float64) {
+	if half := m.Cfg.PeakMemBandwidth() / 2; rate > half {
+		rate = half
+	}
+	m.dmaRate = rate
+	m.dmaBase = base
+	m.dmaLen = n
+	m.dmaIssued = 0
+}
+
+// dmaCatchUp issues every IOP reference due by the current beat. Each one
+// occupies its RAM bank for the usual busy window and lands real bytes in
+// memory; the CPU's bank-stall prescan then sees the claimed banks.
+func (m *Machine) dmaCatchUp() {
+	if m.dmaRate <= 0 || m.dmaLen < 8 {
+		return
+	}
+	beatsPerRef := 8 / (m.dmaRate * mach.BeatNs * 1e-9)
+	due := int64(float64(m.beat) / beatsPerRef)
+	for m.dmaIssued < due {
+		refBeat := int64(float64(m.dmaIssued) * beatsPerRef)
+		ea := m.dmaBase + (m.dmaIssued*8)%m.dmaLen
+		ctrl, bank := m.Cfg.BankOf(ea)
+		id := ctrl*8 + bank
+		end := refBeat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
+		if end > m.bankBusy[id] {
+			m.bankBusy[id] = end
+		}
+		if ea >= 0 && ea+8 <= int64(len(m.Mem)) {
+			for k := int64(0); k < 8; k++ {
+				m.Mem[ea+k] = byte(m.dmaIssued)
+			}
+		}
+		m.dmaIssued++
+		m.Stats.DMARefs++
+	}
+}
+
+// ContextSwitch deschedules the current process and resumes it under a new
+// address-space ID, charging the full register-state save/restore cost
+// through the memory system (Section 8.1's ~15us figure). With process
+// tags (the default), cache and TLB entries survive across the switch and
+// "no purging is necessary"; set FlushOnSwitch to model an untagged
+// machine that must invalidate everything.
+func (m *Machine) ContextSwitch(asid uint8) {
+	cfg := m.Cfg
+	// State: 64 I + 64 F words per pair, 32 SF words per pair, 16 misc.
+	words := int64(cfg.Pairs)*(64+64+32) + 16
+	// Stored and reloaded as 64-bit doubles, one per board per beat,
+	// capped by the store buses.
+	perBeat := 2 * int64(cfg.Pairs)
+	if perBeat > 2*int64(cfg.StoreBuses) {
+		perBeat = 2 * int64(cfg.StoreBuses)
+	}
+	cost := 2*(words+perBeat-1)/perBeat + 60
+	m.beat += cost
+	m.Stats.Switches++
+	m.Stats.SwitchBeats += cost
+	m.asid = asid
+	if m.FlushOnSwitch {
+		for i := range m.itags {
+			m.itags[i] = -1
+		}
+		for i := range m.dtlb {
+			m.dtlb[i] = -1
+			m.itlb[i] = -1
+		}
+	}
+}
+
+// PeekI reads an integer register (debugging and tests).
+func (m *Machine) PeekI(board, idx int) int32 { return int32(m.iregs[board][idx]) }
+
+// PeekF reads a floating register (debugging and tests).
+func (m *Machine) PeekF(board, idx int) float64 {
+	return math.Float64frombits(m.fregs[board][idx])
+}
+
+// Run boots the machine and executes until HALT. It returns main's exit
+// value and the captured output.
+func (m *Machine) Run() (int32, string, error) {
+	if err := m.Img.InitMem(m.Mem); err != nil {
+		return 0, "", err
+	}
+	// Boot: SP at top of memory, PC at entry.
+	m.iregs[mach.RegSP.Board][mach.RegSP.Idx] = uint32(int64(len(m.Mem)) &^ 7)
+	m.pc = m.Img.Entry
+	for !m.halted {
+		if m.beat > m.StepLim {
+			m.Stats.Beats = m.beat
+			return 0, m.out.String(), &Fault{m.pc, m.beat, "beat limit exceeded (runaway program?)"}
+		}
+		if err := m.step(); err != nil {
+			m.Stats.Beats = m.beat
+			return 0, m.out.String(), err
+		}
+	}
+	m.Stats.Beats = m.beat
+	return m.exit, m.out.String(), nil
+}
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &Fault{m.pc, m.beat, fmt.Sprintf(format, args...)}
+}
+
+// step executes one wide instruction (two beats).
+func (m *Machine) step() error {
+	if m.pc < 0 || m.pc >= len(m.Img.Instrs) {
+		return m.fault("instruction fetch outside image")
+	}
+	// timer interrupts are taken at instruction boundaries; the pipelines
+	// drain on their own, so the handler cost is a pure beat charge
+	if m.InterruptEvery > 0 && m.beat >= m.nextInterrupt {
+		cost := m.InterruptBeats
+		if cost == 0 {
+			cost = 200
+		}
+		m.beat += cost
+		m.Stats.Interrupts++
+		m.Stats.InterruptBeats += cost
+		if m.OnInterrupt != nil {
+			m.OnInterrupt(m)
+		}
+		m.nextInterrupt = m.beat + m.InterruptEvery
+	}
+	m.fetch(m.pc)
+	if m.TraceFn != nil {
+		m.TraceFn(m.pc, m.beat)
+	}
+	in := &m.Img.Instrs[m.pc]
+	m.Stats.Instrs++
+
+	m.dmaCatchUp()
+	// Pre-scan memory references for TLB misses and bank stalls. The
+	// machine charges the bank-stall before initiating the instruction,
+	// and takes the trap (history-queue replay) for the whole batch of
+	// misses at once (§6.4.3: up to 16 misses pending per trap entry).
+	var stall int64
+	misses := 0
+	for si := range in.Slots {
+		s := &in.Slots[si]
+		if !isMemOp(s.Op.Kind) {
+			continue
+		}
+		ea, ok := m.eaOf(&s.Op)
+		if !ok {
+			continue // fault reported at execution
+		}
+		if m.dtlbMiss(ea) {
+			misses++
+		}
+		ctrl, bank := m.Cfg.BankOf(ea)
+		id := ctrl*8 + bank
+		access := m.beat + int64(s.Beat) + mach.StageBank + stall
+		if busy := m.bankBusy[id]; busy > access {
+			stall += busy - access
+		}
+	}
+	if misses > 0 {
+		cost := int64(TrapEntryBeats + misses*TrapPerMissBeat)
+		m.Stats.TLBMisses += int64(misses)
+		m.Stats.TrapBeats += cost
+		m.beat += cost
+	}
+	if stall > 0 {
+		m.Stats.BankStalls += stall
+		m.beat += stall
+	}
+
+	nextPC := m.pc + 1
+	type brCand struct {
+		prio   int
+		target int
+	}
+	var branches []brCand
+	var haltVal *int32
+
+	for beat := 0; beat < 2; beat++ {
+		m.applyWrites()
+		if m.CheckRes {
+			if err := m.checkBeatResources(in, uint8(beat)); err != nil {
+				return err
+			}
+		}
+		for si := range in.Slots {
+			s := &in.Slots[si]
+			if int(s.Beat) != beat {
+				continue
+			}
+			m.Stats.Ops++
+			switch s.Unit.Kind {
+			case mach.UBR:
+				t, halt, err := m.execBranch(&s.Op)
+				if err != nil {
+					return err
+				}
+				if halt != nil {
+					haltVal = halt
+				}
+				if t >= 0 {
+					branches = append(branches, brCand{s.Op.Prio, t})
+				}
+			default:
+				if err := m.execOp(&s.Op); err != nil {
+					return err
+				}
+			}
+		}
+		m.beat++
+	}
+
+	// §6.5.2: the highest-priority true test supplies the next address;
+	// default is PC+1 (the GC's default).
+	if len(branches) > 0 {
+		best := branches[0]
+		for _, b := range branches[1:] {
+			if b.prio < best.prio {
+				best = b
+			}
+		}
+		nextPC = best.target
+		m.Stats.Taken++
+	}
+	if haltVal != nil {
+		m.halted = true
+		m.exit = *haltVal
+		return nil
+	}
+	m.pc = nextPC
+	return nil
+}
+
+func isMemOp(k ir.OpKind) bool {
+	return k == ir.Load || k == ir.LoadSpec || k == ir.Store
+}
+
+// fetch models the instruction cache: direct-mapped, refilled in aligned
+// blocks of four via the mask-word engine at memory bandwidth (§6.5.1).
+func (m *Machine) fetch(pc int) {
+	// instruction TLB: pages of PageSize/4 instructions (8KB of packed
+	// words approximated)
+	ipage := int64(pc) / (PageSize / 4)
+	is := ipage % TLBEntries
+	if m.itlb[is] != ipage || m.itlbAsids[is] != m.asid {
+		m.itlb[is] = ipage
+		m.itlbAsids[is] = m.asid
+		m.Stats.TLBMisses++
+		m.Stats.TrapBeats += TrapEntryBeats
+		m.beat += TrapEntryBeats
+	}
+	if len(m.Img.Words) == 0 {
+		// ideal machine: no encoded form, perfect cache
+		m.Stats.ICacheHits++
+		return
+	}
+	line := pc % len(m.itags)
+	if m.itags[line] == pc && m.iasids[line] == m.asid {
+		m.Stats.ICacheHits++
+		return
+	}
+	m.Stats.ICacheMiss++
+	// refill the aligned 4-instruction block
+	blk := pc &^ 3
+	words := 4 // the four mask words
+	for i := blk; i < blk+4 && i < len(m.Img.Words); i++ {
+		for _, w := range m.Img.Words[i] {
+			if w != 0 {
+				words++
+			}
+		}
+		line := i % len(m.itags)
+		m.itags[line] = i
+		m.iasids[line] = m.asid
+	}
+	// refill proceeds at full bus bandwidth: ILoad buses carry 4 bytes per
+	// beat each; mask interpretation adds a fixed 2 beats
+	buses := m.Cfg.ILoadBuses
+	beats := int64((words+buses-1)/buses) + 2
+	m.Stats.RefillBeats += beats
+	m.beat += beats
+}
+
+// dtlbMiss checks and fills the data TLB for a byte address.
+func (m *Machine) dtlbMiss(ea int64) bool {
+	if ea < 0 {
+		return false
+	}
+	page := ea / PageSize
+	slot := page % TLBEntries
+	if m.dtlb[slot] == page && m.dtlbAsids[slot] == m.asid {
+		return false
+	}
+	m.dtlb[slot] = page
+	m.dtlbAsids[slot] = m.asid
+	return true
+}
+
+// applyWrites retires pipeline writes due at the current beat ("the
+// destination register is specified when the operation is initiated, and a
+// hardware control pipeline carries the destination forward", §6.2).
+func (m *Machine) applyWrites() error {
+	written := map[mach.PReg]bool{}
+	kept := m.pending[:0]
+	for _, w := range m.pending {
+		if w.beat > m.beat {
+			kept = append(kept, w)
+			continue
+		}
+		if written[w.dst] {
+			return m.fault("write-write race on %s", w.dst)
+		}
+		written[w.dst] = true
+		m.writeReg(w.dst, w.val)
+	}
+	m.pending = kept
+	return nil
+}
+
+func (m *Machine) writeReg(r mach.PReg, v uint64) {
+	switch r.Bank {
+	case mach.BankI:
+		m.iregs[r.Board][r.Idx] = uint32(v)
+	case mach.BankF:
+		m.fregs[r.Board][r.Idx] = v
+	case mach.BankSF:
+		m.sf[r.Board][r.Idx] = v
+	case mach.BankB:
+		m.bb[r.Board][r.Idx] = v != 0
+	}
+}
+
+func (m *Machine) readReg(r mach.PReg) uint64 {
+	switch r.Bank {
+	case mach.BankI:
+		return uint64(m.iregs[r.Board][r.Idx])
+	case mach.BankF:
+		return m.fregs[r.Board][r.Idx]
+	case mach.BankSF:
+		return m.sf[r.Board][r.Idx]
+	case mach.BankB:
+		if m.bb[r.Board][r.Idx] {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// readArg evaluates an operand: register read or immediate.
+func (m *Machine) readArg(a mach.Arg) uint64 {
+	if a.IsImm {
+		return uint64(uint32(a.Imm))
+	}
+	if !a.Reg.Valid() {
+		return 0
+	}
+	return m.readReg(a.Reg)
+}
+
+func (m *Machine) readI(a mach.Arg) int32   { return int32(uint32(m.readArg(a))) }
+func (m *Machine) readF(a mach.Arg) float64 { return math.Float64frombits(m.readArg(a)) }
+func (m *Machine) enqueue(dst mach.PReg, val uint64, lat int) {
+	if !dst.Valid() {
+		return
+	}
+	m.pending = append(m.pending, pendingWrite{beat: m.beat + int64(lat), dst: dst, val: val})
+}
+
+// eaOf computes a memory op's effective address (A + B).
+func (m *Machine) eaOf(o *mach.Op) (int64, bool) {
+	if !o.A.IsImm && !o.A.Reg.Valid() {
+		return 0, false
+	}
+	base := int64(m.readI(o.A))
+	off := int64(m.readI(o.B))
+	return base + off, true
+}

@@ -1,0 +1,750 @@
+package xp
+
+import (
+	"fmt"
+
+	"github.com/multiflow-repro/trace/internal/baseline"
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// ExpE1 measures the headline claim: trace-scheduled wide machines against
+// the sequential scalar machine of the same technology.
+func ExpE1() ([]*Table, error) {
+	t := &Table{
+		ID:         "E1",
+		Title:      "speedup of trace-scheduled TRACE vs. scalar machine",
+		PaperClaim: "\"from ten to thirty times the performance of a more conventional machine built of the same implementation technology\" (§1); \"order-of-magnitude speedups due to compaction\" (§4)",
+		Headers:    []string{"kernel", "scalar beats", "7/200", "speedup", "14/200", "speedup", "28/200", "speedup"},
+	}
+	cfgs := []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()}
+	for _, w := range NumericSuite() {
+		sc, err := scalarBeats(w, mach.Trace28())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name, i64(sc.Beats)}
+		for _, cfg := range cfgs {
+			st, _, err := runOn(w, cfg, opt.Default(), true)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, i64(st.Beats), f1(float64(sc.Beats)/float64(st.Beats)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"scalar machine: in-order, single-issue, same functional-unit and memory latencies, full interlocks",
+		"TRACE runs use profile-guided trace selection, inlining, unroll 8 (§4's automatic heuristics)")
+	return []*Table{t}, nil
+}
+
+// ExpE2 reproduces the Acosta ceiling: dynamic scheduling that cannot look
+// past basic blocks.
+func ExpE2() ([]*Table, error) {
+	t := &Table{
+		ID:         "E2",
+		Title:      "scoreboard (basic-block lookahead) vs. scalar, same datapath as 28/200",
+		PaperClaim: "\"Even with such complex and costly hardware, Acosta et al. report that only a factor of 2 or 3 speedup in performance is possible\" (§3)",
+		Headers:    []string{"kernel", "scalar beats", "sb 1-issue", "speedup", "sb 2-issue", "speedup", "TRACE 28/200 speedup"},
+	}
+	cfg := mach.Trace28()
+	for _, w := range AllWorkloads() {
+		sc, err := scalarBeats(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Compile(w.Src)
+		if err != nil {
+			return nil, err
+		}
+		sb1, _, _, err := baseline.Scoreboard(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sb2, _, _, err := baseline.ScoreboardWide(prog, cfg, 2)
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := runOn(w, cfg, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(sc.Beats), i64(sb1.Beats),
+			f2(float64(sc.Beats) / float64(sb1.Beats)),
+			i64(sb2.Beats),
+			f2(float64(sc.Beats) / float64(sb2.Beats)),
+			f2(float64(sc.Beats) / float64(st.Beats)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"dual issue lifts the scoreboard toward the top of the Acosta band, but the block-boundary stall holds the ceiling:",
+		"no issue width lets the hardware see past an unresolved branch")
+	return []*Table{t}, nil
+}
+
+// ExpE3 reproduces the §9 code-size components.
+func ExpE3() ([]*Table, error) {
+	t := &Table{
+		ID:         "E3",
+		Title:      "object code size (28/200, full optimization)",
+		PaperClaim: "per-op encoding +30-50% vs VAX; mask format +5-10%; optimization growth +30-60%; overall ~3x VAX (§9)",
+		Headers: []string{"kernel", "VAX bytes", "packed bytes", "ratio", "ops before", "ops after",
+			"opt growth", "payload bytes", "mask ovh", "fixed bytes", "no-op savings"},
+	}
+	cfg := mach.Trace28()
+	var sumVAX, sumPacked int64
+	for _, w := range append(AllWorkloads(), MixedApp()) {
+		prog, err := lang.Compile(w.Src)
+		if err != nil {
+			return nil, err
+		}
+		vax := baseline.VAXSize(prog)
+		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		if err != nil {
+			return nil, err
+		}
+		fixed, packed, _ := res.Image.CodeSizes()
+		// payload = words that are actually present
+		var payload int64
+		for _, ws := range res.Image.Words {
+			for _, word := range ws {
+				if word != 0 {
+					payload += 4
+				}
+			}
+		}
+		maskOvh := float64(packed-payload) / float64(payload)
+		growth := float64(res.Opt.OpsAfter)/float64(res.Opt.OpsBefore) - 1
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(vax), i64(packed), f2(float64(packed) / float64(vax)),
+			fmt.Sprintf("%d", res.Opt.OpsBefore), fmt.Sprintf("%d", res.Opt.OpsAfter),
+			pct(growth), i64(payload), pct(maskOvh), i64(fixed),
+			pct(1 - float64(packed)/float64(fixed)),
+		})
+		sumVAX += vax
+		sumPacked += packed
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("suite total: packed/VAX = %.2fx (paper: \"approximately 3 times larger than VAX object code\")",
+			float64(sumPacked)/float64(sumVAX)),
+		"\"no-op savings\" is the fraction of the fixed 1024-bit format the §6.5.1 mask representation eliminates",
+		"the paper's 3x is measured on 100K-300K-line applications where unrolled hot loops are a small fraction;",
+		"these kernels are ~100% hot loop, so growth concentrates — mixed-app is the closest shape to an application")
+	return []*Table{t}, nil
+}
+
+// ExpE4 exercises the interleaved memory system and the disambiguator.
+func ExpE4() ([]*Table, error) {
+	t := &Table{
+		ID:         "E4",
+		Title:      "interleaved memory: stride, bank conflicts, and the bank-stall gamble",
+		PaperClaim: "references provably distinct mod N schedule at full bandwidth; \"maybe\" conflicts may be overlapped relying on the bank-stall; \"rolling the dice can improve performance\" (§6.4)",
+		Headers:    []string{"variant", "config", "beats", "mem refs", "bank stalls", "stall/ref"},
+	}
+	unit := Workload{"stride-1", "numeric", `
+var a [512]float
+var b [512]float
+func main() int {
+	for (var i int = 0; i < 512; i = i + 1) { a[i] = float(i) }
+	for (var r int = 0; r < 8; r = r + 1) {
+		for (var i int = 0; i < 512; i = i + 1) { b[i] = a[i] * 2.0 }
+	}
+	return int(b[100])
+}`}
+	// stride 64 words * 8 bytes: every reference lands on the same bank of
+	// the 8-controller x 8-bank system
+	conflict := Workload{"stride-64", "numeric", `
+var a [4096]float
+func main() int {
+	for (var i int = 0; i < 4096; i = i + 1) { a[i] = 1.0 }
+	var s float = 0.0
+	for (var r int = 0; r < 64; r = r + 1) {
+		for (var i int = 0; i < 64; i = i + 1) { s = s + a[i * 64] }
+	}
+	return int(s)
+}`}
+	// unknown bases: array parameters force "maybe" answers (§6.4.2)
+	unknown := Workload{"unknown-base", "numeric", `
+var x [256]float
+var y [256]float
+func saxpy(a []float, b []float, n int) {
+	for (var i int = 0; i < n; i = i + 1) { b[i] = b[i] + 2.0 * a[i] }
+}
+func main() int {
+	for (var i int = 0; i < 256; i = i + 1) { x[i] = float(i); y[i] = 1.0 }
+	for (var r int = 0; r < 8; r = r + 1) { saxpy(x, y, 256) }
+	var s float = 0.0
+	for (var i int = 0; i < 256; i = i + 1) { s = s + y[i] }
+	return int(s) & 65535
+}`}
+
+	cfg := mach.Trace28()
+	noDice := cfg
+	noDice.RollTheDice = false
+	cases := []struct {
+		w    Workload
+		cfg  mach.Config
+		name string
+	}{
+		{unit, cfg, "stride-1 (all no-conflict)"},
+		{conflict, cfg, "stride-64 (same bank every ref)"},
+		{unknown, cfg, "arg arrays, dice ON"},
+		{unknown, noDice, "arg arrays, dice OFF (conservative)"},
+	}
+	for _, c := range cases {
+		st, _, err := runOn(c.w, c.cfg, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, c.cfg.Name, i64(st.Beats), i64(st.MemRefs), i64(st.BankStalls),
+			f2(float64(st.BankStalls) / float64(max64(st.MemRefs, 1))),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"stride-64 x 8 bytes lands every reference on one RAM bank: the 4-beat busy time dominates",
+		"with unknown bases the disambiguator answers \"maybe\"; the conservative build serializes, the dice build overlaps and lets the hardware bank-stall")
+
+	// §6.4.1: "a memory system is configured with up to eight memory
+	// controllers ... each controller can do a 64-bit reference every beat".
+	// Sweep the interleave degree under a bandwidth-hungry kernel: fewer
+	// controllers/banks means more same-bank collisions and more stalls.
+	t2 := &Table{
+		ID:         "E4b",
+		Title:      "memory bandwidth vs. interleave degree (28/200 datapath, stride-1 sweep)",
+		PaperClaim: "interleaved memories deliver bandwidth only when consecutive references spread across banks; the full machine uses 8 controllers x 8 banks (§6.4, §6.4.1)",
+		Headers:    []string{"controllers x banks", "beats", "bank stalls", "stall/ref", "vs 8x8"},
+	}
+	var full int64
+	for _, geom := range [][2]int{{8, 8}, {4, 8}, {2, 8}, {1, 8}, {1, 4}, {1, 2}} {
+		gcfg := mach.Trace28()
+		gcfg.Controllers = geom[0]
+		gcfg.BanksPerController = geom[1]
+		st, _, err := runOn(unit, gcfg, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		if full == 0 {
+			full = st.Beats
+		}
+		t2.Rows = append(t2.Rows, []string{
+			fmt.Sprintf("%dx%d", geom[0], geom[1]), i64(st.Beats), i64(st.BankStalls),
+			f2(float64(st.BankStalls) / float64(max64(st.MemRefs, 1))),
+			f2(float64(st.Beats) / float64(full)),
+		})
+	}
+	// The same sweep without recompiling: the 8x8 schedule run on narrower
+	// memory, so every collision the compiler thought impossible now lands
+	// on the hardware bank-stall. This separates the compiler's contribution
+	// from the hardware's.
+	{
+		res, err := core.Compile(unit.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		if err != nil {
+			return nil, err
+		}
+		wantV, wantOut, err := core.Interpret(res)
+		if err != nil {
+			return nil, err
+		}
+		for _, geom := range [][2]int{{1, 8}, {1, 2}} {
+			img := *res.Image
+			img.Cfg.Controllers = geom[0]
+			img.Cfg.BanksPerController = geom[1]
+			m := vliw.New(&img)
+			v, out, err := m.Run()
+			if err != nil {
+				return nil, err
+			}
+			if v != wantV || out != wantOut {
+				return nil, fmt.Errorf("narrow-memory run diverged")
+			}
+			t2.Rows = append(t2.Rows, []string{
+				fmt.Sprintf("%dx%d (8x8 schedule)", geom[0], geom[1]),
+				i64(m.Stats.Beats), i64(m.Stats.BankStalls),
+				f2(float64(m.Stats.BankStalls) / float64(max64(m.Stats.MemRefs, 1))),
+				f2(float64(m.Stats.Beats) / float64(full)),
+			})
+		}
+	}
+	t2.Notes = append(t2.Notes,
+		"top rows: the compiler reschedules for each geometry (interleave is in the machine model the disambiguator sees),",
+		"so narrow memories degrade gracefully — provable conflicts get spaced instead of gambled on",
+		"bottom rows: the unmodified 8x8 schedule on narrow memory leans on the hardware bank-stall instead")
+	return []*Table{t, t2}, nil
+}
+
+// ExpE5 verifies the §6.3 arithmetic and reports achieved rates.
+func ExpE5() ([]*Table, error) {
+	t1 := &Table{
+		ID:         "E5a",
+		Title:      "peak rates from the machine description",
+		PaperClaim: "\"peak performance of 215 'VLIW MIPS' and 60 MFLOPS\" with a 1024-bit word issuing 28 operations (§6.3); 492 MB/s (§6.4.1)",
+		Headers:    []string{"config", "ops/instr", "instr bits", "peak MIPS", "peak MFLOPS", "peak MB/s"},
+	}
+	for _, cfg := range []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()} {
+		t1.Rows = append(t1.Rows, []string{
+			cfg.Name, fmt.Sprintf("%d", cfg.OpsPerInstr()), fmt.Sprintf("%d", cfg.InstrBits()),
+			f1(cfg.PeakMIPS()), f1(cfg.PeakMFLOPS()), f1(cfg.PeakMemBandwidth() / 1e6),
+		})
+	}
+	t2 := &Table{
+		ID:      "E5b",
+		Title:   "achieved rates on the numeric suite (28/200)",
+		Headers: []string{"kernel", "ops", "beats", "ops/instr", "MIPS", "MFLOPS"},
+	}
+	for _, w := range NumericSuite() {
+		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, []string{
+			w.Name, i64(st.Ops), i64(st.Beats),
+			f2(float64(st.Ops) / float64(max64(st.Instrs, 1))),
+			f1(st.MIPS()), f1(st.MFLOPS()),
+		})
+	}
+	return []*Table{t1, t2}, nil
+}
+
+// ExpE6 measures the instruction cache.
+func ExpE6() ([]*Table, error) {
+	t := &Table{
+		ID:         "E6",
+		Title:      "instruction cache: 8K instructions, mask-word refill",
+		PaperClaim: "8K-instruction cache, 984 MB/s refill; \"instruction fetch ... never stalls or restrains the processor, except on cache misses\" (§6.5)",
+		Headers:    []string{"kernel", "instrs fetched", "misses", "miss rate", "refill beats", "refill share"},
+	}
+	for _, w := range []Workload{daxpy, matmul, scanner, sortW} {
+		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		total := st.ICacheHits + st.ICacheMiss
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(total), i64(st.ICacheMiss),
+			fmt.Sprintf("%.4f%%", 100*float64(st.ICacheMiss)/float64(max64(total, 1))),
+			i64(st.RefillBeats),
+			pct(float64(st.RefillBeats) / float64(max64(st.Beats, 1))),
+		})
+	}
+	t.Notes = append(t.Notes, "loop-dominated code misses only on cold start; the 8K-instruction cache holds every kernel")
+	return []*Table{t}, nil
+}
+
+// ExpE7 computes the context-switch cost from the machine description.
+func ExpE7() ([]*Table, error) {
+	t := &Table{
+		ID:         "E7",
+		Title:      "context switch: full register save/restore through the memory system",
+		PaperClaim: "\"the high available memory bandwidth in the system permits a complete context switch in 15 microseconds. This figure holds in any machine configuration, because usable memory bandwidth increases as the number of registers\" (§8.1)",
+		Headers:    []string{"config", "state words", "save+restore beats", "overhead beats", "total us"},
+	}
+	for _, cfg := range []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()} {
+		// per pair: 64 I words + 32 F regs x 2 words + 16 SF x 2 words + PSW etc.
+		words := int64(cfg.Pairs) * (64 + 64 + 32)
+		words += 16 // PC, PSW, ASIDs, branch banks
+		// each I board initiates one 64-bit (2-word) reference per beat;
+		// bandwidth scales with boards exactly as the paper argues
+		perBeat := 2 * int64(cfg.Pairs)
+		if perBeat > 2*int64(cfg.StoreBuses) {
+			perBeat = 2 * int64(cfg.StoreBuses)
+		}
+		moveBeats := 2 * (words / perBeat) // save + restore
+		overhead := int64(60)              // interrupt entry, drain, scheduler (§8.2)
+		us := float64(moveBeats+overhead) * mach.BeatNs / 1000
+		t.Rows = append(t.Rows, []string{
+			cfg.Name, i64(words), i64(moveBeats), i64(overhead), f1(us),
+		})
+	}
+	t.Notes = append(t.Notes, "registers double with pairs, but so do the I boards issuing stores: the microseconds stay nearly flat, as claimed")
+
+	// §8.3: the I/O processor's DMA engine reads/writes main memory "at
+	// half of peak memory bandwidth"; the paper's arithmetic is that 10
+	// MB/s of I/O costs 4% of the machine's cycles.
+	t2 := &Table{
+		ID:         "E7b",
+		Title:      "I/O: DMA cycle-steal arithmetic (Section 8.3)",
+		PaperClaim: "\"10 MB/s of I/O consumes only 4% of the machine's cycles in the largest CPU configuration\"",
+		Headers:    []string{"config", "peak MB/s", "DMA MB/s (half peak)", "cycles for 10 MB/s"},
+	}
+	for _, cfg := range []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()} {
+		peak := cfg.PeakMemBandwidth() / 1e6
+		dma := peak / 2
+		t2.Rows = append(t2.Rows, []string{
+			cfg.Name, f1(peak), f1(dma), pct(10 / dma),
+		})
+	}
+
+	// The same §8.3 claim measured dynamically: the simulator's IOP engine
+	// streams doublewords into a buffer, cycle-stealing banks from the CPU.
+	t2b := &Table{
+		ID:         "E7b-dyn",
+		Title:      "I/O: measured CPU impact of a live DMA stream (28/200, daxpy)",
+		PaperClaim: "cycle stealing; at 10 MB/s the impact is bounded by the 4% bandwidth share",
+		Headers:    []string{"DMA MB/s", "DMA refs", "bank stalls", "beats", "slowdown"},
+	}
+	{
+		cfg := mach.Trace28()
+		res, err := core.Compile(daxpy.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		if err != nil {
+			return nil, err
+		}
+		base := vliw.New(res.Image)
+		wantV, wantOut, err := base.Run()
+		if err != nil {
+			return nil, err
+		}
+		bufBase := (res.Image.DataTop + 4095) &^ 4095
+		for _, mbs := range []float64{0, 10, 50, 123} {
+			m := vliw.New(res.Image)
+			if mbs > 0 {
+				m.StartDMA(bufBase, 1<<16, mbs*1e6)
+			}
+			v, out, err := m.Run()
+			if err != nil {
+				return nil, err
+			}
+			if v != wantV || out != wantOut {
+				return nil, fmt.Errorf("DMA at %v MB/s corrupted the program", mbs)
+			}
+			t2b.Rows = append(t2b.Rows, []string{
+				f1(mbs), i64(m.Stats.DMARefs), i64(m.Stats.BankStalls), i64(m.Stats.Beats),
+				pct(float64(m.Stats.Beats)/float64(base.Stats.Beats) - 1),
+			})
+		}
+		t2b.Notes = append(t2b.Notes,
+			"the IOP claims RAM banks through the same busy mechanism as the CPU: contention appears as bank stalls",
+			"slowdown stays under the bandwidth share because only colliding references stall — 4% is the worst case")
+	}
+
+	// §8.1 again, dynamically this time: the caches and TLBs are process-
+	// tagged, so a descheduled process finds its working set still resident
+	// when it runs again. The counterfactual machine purges on every switch.
+	t3 := &Table{
+		ID:         "E7c",
+		Title:      "process-tagged caches vs. purge-on-switch under timeslicing",
+		PaperClaim: "\"No purging is necessary, since processes are identified by tags in the cache\" (§6.5); same for the TLB (§6.1)",
+		Headers:    []string{"workload", "mode", "switches", "icache miss", "tlb miss", "beats", "vs undisturbed"},
+	}
+	cfg := mach.Trace28()
+	for _, w := range []Workload{fir, scanner} {
+		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		base := vliw.New(res.Image)
+		wantV, wantOut, err := base.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		for _, mode := range []string{"tagged", "purged"} {
+			m := vliw.New(res.Image)
+			m.InterruptEvery = 2000
+			m.InterruptBeats = 60
+			m.FlushOnSwitch = mode == "purged"
+			// Round-robin with a neighbour process: every timeslice end is
+			// two switches — away to the neighbour (ASID 1) and, one
+			// quantum later from our point of view, back to us (ASID 0).
+			// On the tagged machine our lines sit untouched while the
+			// neighbour runs; on the untagged machine both switches purge.
+			m.OnInterrupt = func(mm *vliw.Machine) {
+				mm.ContextSwitch(1)
+				mm.ContextSwitch(0)
+			}
+			v, out, err := m.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+			}
+			if v != wantV || out != wantOut {
+				return nil, fmt.Errorf("%s/%s: timeslicing changed semantics", w.Name, mode)
+			}
+			t3.Rows = append(t3.Rows, []string{
+				w.Name, mode, i64(m.Stats.Switches),
+				i64(m.Stats.ICacheMiss), i64(m.Stats.TLBMisses),
+				i64(m.Stats.Beats), f2(float64(m.Stats.Beats) / float64(base.Stats.Beats)),
+			})
+		}
+	}
+	t3.Notes = append(t3.Notes,
+		"tagged: each ASID faults its lines in once and they survive every later timeslice",
+		"purged: the whole working set re-faults after every switch — refill and trap beats grow with switch count")
+	return []*Table{t, t2, t2b, t3}, nil
+}
+
+// ExpE8 measures the multiway branch.
+func ExpE8() ([]*Table, error) {
+	t := &Table{
+		ID:         "E8",
+		Title:      "multiway branch: packing several tests per instruction",
+		PaperClaim: "\"conditional branches occur every five to eight operations ... some mechanism will be required to pack more than one jump into a single instruction\" (§6.5.2)",
+		Headers:    []string{"kernel", "config", "multiway beats", "multi-branch instrs", "single-branch beats", "win"},
+	}
+	// classify is branch-dense with independent tests: the shape §6.5.2
+	// argues needs the mechanism
+	classify := Workload{"classify", "systems", `
+var v [512]int
+var acc [4]int
+func main() int {
+	for (var i int = 0; i < 512; i = i + 1) { v[i] = (i * 37) & 255 }
+	for (var r int = 0; r < 8; r = r + 1) {
+		for (var i int = 0; i < 512; i = i + 1) {
+			var x int = v[i]
+			if (x > 128) { acc[0] = acc[0] + 1 }
+			if ((x & 1) == 1) { acc[1] = acc[1] + 1 }
+			if (x < 32) { acc[2] = acc[2] + 1 }
+		}
+	}
+	return acc[0] + acc[1] * 1000 + acc[2] * 100000
+}`}
+	on := mach.Trace28()
+	off := on
+	off.MultiwayBranch = false
+	for _, w := range []Workload{classify, scanner, sortW, hashW, listW} {
+		stOn, resOn, err := runOn(w, on, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		multi := 0
+		for i := range resOn.Image.Instrs {
+			n := 0
+			for _, s := range resOn.Image.Instrs[i].Slots {
+				if s.Unit.Kind == mach.UBR {
+					n++
+				}
+			}
+			if n >= 2 {
+				multi++
+			}
+		}
+		stOff, _, err := runOn(w, off, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, on.Name, i64(stOn.Beats), fmt.Sprintf("%d", multi), i64(stOff.Beats),
+			pct(float64(stOff.Beats-stOn.Beats) / float64(stOff.Beats)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the mechanism engages (multi-branch instructions appear after tail duplication removes the if-chain merges),",
+		"but with this scheduler the tests are rarely ready simultaneously, so its beat-count effect is small;",
+		"the paper's argument is about necessity at higher compaction, not a measured speedup")
+	return []*Table{t}, nil
+}
+
+// ExpE9 measures the §7 speculative loads.
+func ExpE9() ([]*Table, error) {
+	t := &Table{
+		ID:         "E9",
+		Title:      "non-trapping speculative LOAD opcodes",
+		PaperClaim: "\"this technique enables the compiler to be much more aggressive in code motions involving memory references\" (§7): unrolled loops hoist next-iteration loads above the exit test",
+		Headers:    []string{"kernel", "spec beats", "spec loads", "funny numbers", "no-spec beats", "win"},
+	}
+	on := mach.Trace28()
+	off := on
+	off.SpeculativeLoads = false
+	for _, w := range []Workload{daxpy, dot, fir, livermore} {
+		stOn, _, err := runOn(w, on, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		stOff, _, err := runOn(w, off, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(stOn.Beats), i64(stOn.SpecLoads), i64(stOn.SpecFaults),
+			i64(stOff.Beats),
+			pct(float64(stOff.Beats-stOn.Beats) / float64(max64(stOff.Beats, 1))),
+		})
+	}
+	t.Notes = append(t.Notes, "\"funny numbers\" counts speculative loads past the address space that returned the recognizable poison value instead of trapping")
+	return []*Table{t}, nil
+}
+
+// ExpE10 measures compensation-code growth against unrolling.
+func ExpE10() ([]*Table, error) {
+	t := &Table{
+		ID:         "E10",
+		Title:      "code growth: trace selection, compensation, unrolling (28/200, daxpy+sort)",
+		PaperClaim: "\"their overall effect seems to be to increase code size by a factor of around 30-60%\" (§9)",
+		Headers:    []string{"kernel", "unroll", "seq ops", "sched ops", "comp ops", "growth"},
+	}
+	for _, w := range []Workload{daxpy, sortW} {
+		for _, u := range []int{1, 2, 4, 8, 16} {
+			lvl := opt.Options{Inline: true, UnrollFactor: u}
+			res, err := core.Compile(w.Src, core.Options{Config: mach.Trace28(), Opt: lvl, Profile: core.ProfileRun})
+			if err != nil {
+				return nil, err
+			}
+			var schedOps, compOps int
+			for _, fc := range res.Funcs {
+				schedOps += fc.Ops
+				compOps += fc.CompOps
+			}
+			t.Rows = append(t.Rows, []string{
+				w.Name, fmt.Sprintf("%d", u), fmt.Sprintf("%d", res.Opt.OpsBefore),
+				fmt.Sprintf("%d", schedOps), fmt.Sprintf("%d", compOps),
+				pct(float64(schedOps)/float64(res.Opt.OpsBefore) - 1),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "growth = machine ops after scheduling (incl. compensation, calling convention, cross-bank moves) / sequential IR ops before optimization")
+	return []*Table{t}, nil
+}
+
+// ExpE11 measures the TLB trap-and-replay machinery.
+func ExpE11() ([]*Table, error) {
+	t := &Table{
+		ID:         "E11",
+		Title:      "data TLB misses and history-queue replay",
+		PaperClaim: "TLB misses trap several beats late; history queues replay them, \"up to sixteen independent TLB misses can be pending on a single entry to the trap code\" (§6.4.3)",
+		Headers:    []string{"sweep", "pages touched", "TLB misses", "trap beats", "share of run"},
+	}
+	mk := func(name string, stride, n int) Workload {
+		return Workload{name, "numeric", fmt.Sprintf(`
+var big [65536]float
+func main() int {
+	var s float = 0.0
+	for (var i int = 0; i < %d; i = i + 1) { s = s + big[(i * %d) %% 65536] }
+	return int(s)
+}`, n, stride)}
+	}
+	for _, c := range []struct {
+		w     Workload
+		pages int
+	}{
+		{mk("sequential 512KB", 1, 65536), 64},
+		{mk("page-stride", 1024, 512), 64},
+	} {
+		st, _, err := runOn(c.w, mach.Trace28(), opt.Default(), false)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.w.Name, fmt.Sprintf("%d", c.pages), i64(st.TLBMisses), i64(st.TrapBeats),
+			pct(float64(st.TrapBeats) / float64(max64(st.Beats, 1))),
+		})
+	}
+	t.Notes = append(t.Notes, "8KB pages; the 512KB array spans 64 pages; misses are cold only (the 4K-entry TLB never evicts in these runs)")
+	return []*Table{t}, nil
+}
+
+// ExpE12 measures systems code.
+func ExpE12() ([]*Table, error) {
+	t := &Table{
+		ID:         "E12",
+		Title:      "systems code: branchy, pointer-heavy kernels (28/200)",
+		PaperClaim: "\"pointers and small basic blocks have not been a problem ... performance on systems code is quite good\"; smaller but real speedups vs numeric code (§8.4)",
+		Headers:    []string{"kernel", "kind", "scalar beats", "TRACE beats", "speedup"},
+	}
+	for _, w := range AllWorkloads() {
+		sc, err := scalarBeats(w, mach.Trace28())
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, w.Kind, i64(sc.Beats), i64(st.Beats),
+			f2(float64(sc.Beats) / float64(st.Beats)),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// ExpF1 compares the Figure-1 ideal machine against the real partitioned
+// one.
+func ExpF1() ([]*Table, error) {
+	t := &Table{
+		ID:         "F1",
+		Title:      "ideal central-register-file VLIW vs. the partitioned TRACE",
+		PaperClaim: "\"any reasonably large number of functional units requires an impossibly large number of ports ... the only reasonable implementation compromise is to partition the register files\" (§5); the real machine should come close to the ideal",
+		Headers:    []string{"kernel", "ideal beats", "real beats", "partition cost", "no-spread beats", "routing win"},
+	}
+	noSpread := mach.Trace28()
+	noSpread.NoSpread = true
+	for _, w := range []Workload{daxpy, dot, matmul, scanner} {
+		stI, _, err := runOn(w, mach.IdealConfig(4), opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		stR, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		stN, _, err := runOn(w, noSpread, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(stI.Beats), i64(stR.Beats),
+			pct(float64(stR.Beats-stI.Beats) / float64(max64(stI.Beats, 1))),
+			i64(stN.Beats),
+			pct(float64(stN.Beats-stR.Beats) / float64(max64(stR.Beats, 1))),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"partition cost = extra beats from bank locality, cross-bank moves, port and bus limits, and the shared immediate word",
+		"no-spread = board-rotation hinting off, the compiler's half of the §5 data-routing compromise; \"routing win\" is what that policy buys")
+	return []*Table{t}, nil
+}
+
+// ExpE13 is the ablation the paper's §10 promises as future work:
+// separating the speedup due to trace scheduling (compaction past basic
+// blocks) from the speedup of the wide machine with block-local scheduling.
+func ExpE13() ([]*Table, error) {
+	t := &Table{
+		ID:         "E13",
+		Title:      "ablation: trace scheduling vs. basic-block compaction (28/200)",
+		PaperClaim: "\"our future work will concentrate on quantifying the speedups due to trace scheduling vs. those achieved by more universal compiler optimizations\" (§10); §3: block-local scheduling is capped at 2-3x",
+		Headers:    []string{"kernel", "scalar beats", "blocks-only beats", "speedup", "traces beats", "speedup", "trace win"},
+	}
+	cfg := mach.Trace28()
+	for _, w := range AllWorkloads() {
+		sc, err := scalarBeats(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		blocksRes, err := core.Compile(w.Src, core.Options{
+			Config: cfg, Opt: opt.Default(), Profile: core.ProfileRun, MaxTraceBlocks: 1})
+		if err != nil {
+			return nil, err
+		}
+		_, _, stB, err := core.Run(blocksRes)
+		if err != nil {
+			return nil, err
+		}
+		stT, _, err := runOn(w, cfg, opt.Default(), true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, i64(sc.Beats),
+			i64(stB.Beats), f2(float64(sc.Beats) / float64(stB.Beats)),
+			i64(stT.Beats), f2(float64(sc.Beats) / float64(stT.Beats)),
+			pct(float64(stB.Beats-stT.Beats) / float64(max64(stB.Beats, 1))),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"blocks-only = same machine, same optimizer (incl. unrolling), but every trace is a single basic block",
+		"\"trace win\" = beats saved by compacting past branches: the paper's core thesis isolated")
+	return []*Table{t}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ = isa.WordsPerPair // the encoder is exercised through every runOn

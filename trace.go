@@ -1,0 +1,201 @@
+// Package trace is a reproduction of "A VLIW Architecture for a Trace
+// Scheduling Compiler" (Colwell, Nix, O'Donnell, Papworth, Rodman; ASPLOS
+// 1987) — the Multiflow TRACE machine and its Trace Scheduling compacting
+// compiler — as a Go library.
+//
+// The package compiles programs written in the small C-like MF language
+// through a full trace-scheduling pipeline (classical optimization, profile
+// or heuristic trace selection, resource-table list scheduling with
+// speculative non-trapping loads and compensation code, partitioned
+// register-bank allocation, Figure-3 instruction encoding with the §6.5.1
+// mask-word memory format) and executes the result on a beat-accurate
+// simulator of the TRACE: interlock-free pipelines, interleaved banked
+// memory with bank-stall, distributed instruction cache, TLBs with
+// history-queue trap replay, and the priority multiway branch.
+//
+// Quick start:
+//
+//	res, err := trace.Compile(src, trace.Options{})
+//	exit, output, stats, err := trace.Run(res)
+//
+// Machine configurations mirror the product line: Trace7(), Trace14(), and
+// Trace28() give the 1-, 2-, and 4-pair machines (256/512/1024-bit
+// instruction words); Ideal(pairs) gives the Figure-1 idealized machine.
+// The baselines of the paper's argument — a scalar machine of the same
+// technology and a basic-block-limited scoreboard machine — are exposed via
+// RunScalar and RunScoreboard.
+package trace
+
+import (
+	"github.com/multiflow-repro/trace/internal/baseline"
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// Config is a machine configuration (see Trace7/Trace14/Trace28/Ideal).
+type Config = mach.Config
+
+// BeatNs is the minor cycle time of the TRACE: 65 nanoseconds (§6.1).
+const BeatNs = mach.BeatNs
+
+// Options configures a compilation.
+type Options struct {
+	// Config is the target machine; the zero value means Trace28().
+	Config Config
+	// OptLevel selects the classical-optimization pipeline; the zero value
+	// is the full pipeline (OptFull).
+	OptLevel OptLevel
+	// ProfileRun, when true, gathers an exact execution profile with the IR
+	// interpreter before trace selection instead of using heuristics (§4:
+	// "heuristics or profiling").
+	ProfileRun bool
+	// DisableSpeculation turns off the §7 non-trapping LOAD opcodes.
+	DisableSpeculation bool
+	// DisableMultiway restricts each instruction to one branch test
+	// (§6.5.2 off).
+	DisableMultiway bool
+	// Conservative disables the §6.4.4 "bank-stall gamble": memory
+	// references that merely might conflict are never co-scheduled.
+	Conservative bool
+	// BasicBlockOnly restricts the code generator to single-block traces —
+	// classic basic-block compaction with no inter-block code motion. This
+	// is the ablation §10 proposes: "quantifying the speedups due to trace
+	// scheduling vs. those achieved by more universal compiler
+	// optimizations".
+	BasicBlockOnly bool
+}
+
+// OptLevel selects how aggressively the classical optimizer runs.
+type OptLevel int
+
+const (
+	// OptFull is the default: inlining plus unroll-by-8 (§4's automatic
+	// loop unrolling and inline substitution, with the §8.4 growth
+	// heuristics).
+	OptFull OptLevel = iota
+	// OptLight inlines and unrolls by 4.
+	OptLight
+	// OptNone disables inlining and unrolling (cleanup passes still run).
+	OptNone
+)
+
+// Result is a compiled program: an executable image plus compilation
+// artifacts for inspection.
+type Result = core.Result
+
+// Stats is the simulator's performance counters.
+type Stats = vliw.Stats
+
+// Machine is a TRACE processor instance executing a compiled image.
+type Machine = vliw.Machine
+
+// BaselineResult reports a baseline machine simulation.
+type BaselineResult = baseline.Result
+
+// Trace7 returns the 1-pair TRACE 7/200 (256-bit instruction word).
+func Trace7() Config { return mach.Trace7() }
+
+// Trace14 returns the 2-pair TRACE 14/200 (512-bit instruction word).
+func Trace14() Config { return mach.Trace14() }
+
+// Trace28 returns the 4-pair TRACE 28/200 (1024-bit instruction word).
+func Trace28() Config { return mach.Trace28() }
+
+// Ideal returns the Figure-1 idealized VLIW: one central register file with
+// unlimited ports and buses.
+func Ideal(pairs int) Config { return mach.IdealConfig(pairs) }
+
+func (o Options) toCore() core.Options {
+	cfg := o.Config
+	if cfg.Pairs == 0 {
+		cfg = mach.Trace28()
+	}
+	if o.DisableSpeculation {
+		cfg.SpeculativeLoads = false
+	}
+	if o.DisableMultiway {
+		cfg.MultiwayBranch = false
+	}
+	if o.Conservative {
+		cfg.RollTheDice = false
+	}
+	var lvl opt.Options
+	switch o.OptLevel {
+	case OptNone:
+		lvl = opt.None()
+	case OptLight:
+		lvl = opt.Options{Inline: true, UnrollFactor: 4}
+	default:
+		lvl = opt.Default()
+	}
+	prof := core.ProfileHeuristic
+	if o.ProfileRun {
+		prof = core.ProfileRun
+	}
+	maxBlocks := 0
+	if o.BasicBlockOnly {
+		maxBlocks = 1
+	}
+	return core.Options{Config: cfg, Opt: lvl, Profile: prof, MaxTraceBlocks: maxBlocks}
+}
+
+// Compile compiles MF source text for the configured machine.
+func Compile(src string, o Options) (*Result, error) {
+	return core.Compile(src, o.toCore())
+}
+
+// Run executes a compiled program on a fresh machine, returning the exit
+// value, printed output, and performance counters.
+func Run(res *Result) (int32, string, *Stats, error) {
+	return core.Run(res)
+}
+
+// NewMachine returns a machine for the compiled image, for callers who want
+// to instrument execution (watchpoints, instruction traces, beat limits).
+func NewMachine(res *Result) *Machine {
+	return vliw.New(res.Image)
+}
+
+// Interpret runs the reference IR interpreter on the unoptimized program —
+// the semantic ground truth the simulator is differentially tested against.
+func Interpret(res *Result) (int32, string, error) {
+	return core.Interpret(res)
+}
+
+// RunScalar executes the program on the sequential scalar baseline built of
+// the same implementation technology (§1's "conventional machine").
+func RunScalar(src string, cfg Config) (BaselineResult, int32, string, error) {
+	prog, err := compileIRSource(src)
+	if err != nil {
+		return BaselineResult{}, 0, "", err
+	}
+	return baseline.Scalar(prog, cfg)
+}
+
+// RunScoreboard executes the program on the dynamically scheduled,
+// basic-block-limited baseline (§3's scoreboard discussion).
+func RunScoreboard(src string, cfg Config) (BaselineResult, int32, string, error) {
+	prog, err := compileIRSource(src)
+	if err != nil {
+		return BaselineResult{}, 0, "", err
+	}
+	return baseline.Scoreboard(prog, cfg)
+}
+
+// VAXBytes models the program's object size on a tightly encoded CISC, the
+// §9 density yardstick.
+func VAXBytes(src string) (int64, error) {
+	prog, err := compileIRSource(src)
+	if err != nil {
+		return 0, err
+	}
+	return baseline.VAXSize(prog), nil
+}
+
+func compileIRSource(src string) (*ir.Program, error) {
+	return lang.Compile(src)
+}

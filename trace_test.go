@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const demo = `
+var v [64]float
+func main() int {
+	for (var i int = 0; i < 64; i = i + 1) { v[i] = float(i) * 0.5 }
+	var s float = 0.0
+	for (var i int = 0; i < 64; i = i + 1) { s = s + v[i] }
+	print_f(s)
+	return int(s)
+}`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{Trace7(), Trace14(), Trace28(), Ideal(2)} {
+		res, err := Compile(demo, Options{Config: cfg, ProfileRun: true})
+		if err != nil {
+			t.Fatalf("[%s] compile: %v", cfg.Name, err)
+		}
+		wantV, wantOut, err := Interpret(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, out, st, err := Run(res)
+		if err != nil {
+			t.Fatalf("[%s] run: %v", cfg.Name, err)
+		}
+		if v != wantV || out != wantOut {
+			t.Fatalf("[%s] divergence: %d/%q vs %d/%q", cfg.Name, v, out, wantV, wantOut)
+		}
+		if st.Beats == 0 {
+			t.Errorf("[%s] no beats counted", cfg.Name)
+		}
+	}
+}
+
+func TestOptionKnobs(t *testing.T) {
+	base, err := Compile(demo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stBase, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Options{
+		{DisableSpeculation: true},
+		{DisableMultiway: true},
+		{Conservative: true},
+		{OptLevel: OptNone},
+		{OptLevel: OptLight},
+	} {
+		res, err := Compile(demo, o)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		v, out, _, err := Run(res)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		wv, wo, _ := Interpret(res)
+		if v != wv || out != wo {
+			t.Fatalf("%+v changed semantics", o)
+		}
+	}
+	_ = stBase
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	sc, v, _, err := RunScalar(demo, Trace28())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1008 {
+		t.Fatalf("scalar exit %d", v)
+	}
+	sb, _, _, err := RunScoreboard(demo, Trace28())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := Compile(demo, Options{ProfileRun: true})
+	_, _, st, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the paper's ordering: scalar ≥ scoreboard ≥ TRACE (in beats)
+	if !(sc.Beats >= sb.Beats && sb.Beats >= st.Beats) {
+		t.Errorf("ordering violated: scalar %d, scoreboard %d, TRACE %d",
+			sc.Beats, sb.Beats, st.Beats)
+	}
+}
+
+func TestVAXBytes(t *testing.T) {
+	n, err := VAXBytes(demo)
+	if err != nil || n <= 0 {
+		t.Fatalf("VAXBytes = %d, %v", n, err)
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	_, err := Compile(`func main() int { return x }`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("bad program: %v", err)
+	}
+}
+
+func TestNewMachineInstrumentation(t *testing.T) {
+	res, err := Compile(demo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(res)
+	fired := 0
+	m.TraceFn = func(pc int, beat int64) { fired++ }
+	if _, _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Error("TraceFn never fired")
+	}
+}
+
+func TestBasicBlockOnly(t *testing.T) {
+	src := `
+var a [200]float
+var b [200]float
+func main() int {
+	for (var i int = 0; i < 200; i = i + 1) { a[i] = float(i); b[i] = 1.0 }
+	for (var r int = 0; r < 4; r = r + 1) {
+		for (var i int = 0; i < 200; i = i + 1) { b[i] = b[i] + 2.5 * a[i] }
+	}
+	return int(b[199])
+}`
+	full, err := Compile(src, Options{ProfileRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Compile(src, Options{ProfileRun: true, BasicBlockOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantOut, err := Interpret(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"full": full, "bb-only": bb} {
+		v, out, _, err := Run(res)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v != wantV || out != wantOut {
+			t.Fatalf("%s: wrong answer: %d vs %d", name, v, wantV)
+		}
+	}
+	_, _, fullSt, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, bbSt, err := Run(bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullSt.Beats >= bbSt.Beats {
+		t.Errorf("trace scheduling should beat basic-block compaction on this loop: %d vs %d beats",
+			fullSt.Beats, bbSt.Beats)
+	}
+}
+
+func TestPublicContextSwitch(t *testing.T) {
+	res, err := Compile(`
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 500; i = i + 1) { s = s + i }
+	return s & 4095
+}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Interpret(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(res)
+	m.InterruptEvery = 300
+	m.OnInterrupt = func(mm *Machine) { mm.ContextSwitch(1); mm.ContextSwitch(0) }
+	v, _, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want {
+		t.Fatalf("context switching changed the answer: %d vs %d", v, want)
+	}
+	if m.Stats.Switches == 0 {
+		t.Fatal("no switches recorded")
+	}
+}
