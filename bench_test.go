@@ -12,6 +12,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/isa"
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/xp"
 )
 
 const daxpyBench = `
@@ -364,6 +365,27 @@ func BenchmarkFigure3EncodeDecode(b *testing.B) {
 func BenchmarkCompiler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	}
+}
+
+// BenchmarkCompileParallel measures compile throughput of the per-function
+// backend fan-out on the multi-function application, sequential vs one
+// worker per CPU. The images are identical at every setting (see
+// TestParallelCompileDeterminism); only wall-clock should move.
+func BenchmarkCompileParallel(b *testing.B) {
+	src := xp.MixedApp().Src
+	for _, c := range []struct {
+		name string
+		jobs int
+	}{{"j1", 1}, {"jNumCPU", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			var funcs int
+			for i := 0; i < b.N; i++ {
+				res := mustCompile(b, src, Options{Parallelism: c.jobs})
+				funcs = len(res.Funcs)
+			}
+			b.ReportMetric(float64(funcs)/b.Elapsed().Seconds()*float64(b.N), "funcs/s")
+		})
 	}
 }
 

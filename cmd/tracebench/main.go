@@ -6,6 +6,7 @@
 //	tracebench             run everything
 //	tracebench -exp e1     run one experiment (e1..e12, f1)
 //	tracebench -list       list experiments
+//	tracebench -j N        bound the compiler's backend worker pool
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, f1, all)")
 	list := flag.Bool("list", false, "list experiments")
+	jobs := flag.Int("j", 0, "compiler backend worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
+	xp.Parallelism = *jobs
 
 	if *list {
 		for _, e := range xp.Registry() {

@@ -1,9 +1,11 @@
 // Command tracecc compiles MF source for a TRACE configuration and reports
-// on the compilation: IR, schedules, disassembly, code sizes.
+// on the compilation: IR, schedules, disassembly, code sizes, and the pass
+// pipeline (per-pass timings, per-pass IR dumps, boundary verification).
 //
 // Usage:
 //
-//	tracecc [-pairs N] [-O level] [-profile] [-dump-ir] [-disasm] [-stats] prog.mf
+//	tracecc [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
+//	        [-dump-ir] [-disasm] [-stats] prog.mf
 package main
 
 import (
@@ -22,10 +24,13 @@ func main() {
 	pairs := flag.Int("pairs", 4, "I-F board pairs (1, 2, or 4)")
 	olevel := flag.Int("O", 2, "optimization level (0-2)")
 	profRun := flag.Bool("profile", false, "profile-guided trace selection")
-	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
+	dumpIR := flag.Bool("dump-ir", false, "print the IR after every compiler pass")
 	disasm := flag.Bool("disasm", false, "print the linked disassembly")
 	stats := flag.Bool("stats", true, "print code-size statistics")
 	ideal := flag.Bool("ideal", false, "target the Figure-1 ideal VLIW")
+	verify := flag.Bool("verify", false, "validate the IR after every compiler pass")
+	timePasses := flag.Bool("time-passes", false, "print per-pass timing and IR-size report")
+	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecc [flags] prog.mf")
@@ -53,13 +58,20 @@ func main() {
 	if *profRun {
 		mode = core.ProfileRun
 	}
-	res, err := core.Compile(string(src), core.Options{Config: cfg, Opt: lvl, Profile: mode})
+	copts := core.Options{
+		Config: cfg, Opt: lvl, Profile: mode,
+		Verify: *verify, Parallelism: *jobs,
+	}
+	if *dumpIR {
+		copts.DumpIR = os.Stdout
+	}
+	res, err := core.Compile(string(src), copts)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *dumpIR {
-		fmt.Print(res.OptIR.String())
+	if *timePasses {
+		fmt.Print(res.Report.String())
 	}
 	if *disasm {
 		for i := range res.Image.Instrs {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	tracesim [-pairs N] [-O level] [-profile] [-trace] [-baselines] prog.mf
+//	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
+//	         [-trace] [-baselines] prog.mf
 package main
 
 import (
@@ -25,6 +26,9 @@ func main() {
 	profRun := flag.Bool("profile", true, "profile-guided trace selection")
 	traceExec := flag.Bool("trace", false, "print taken control transfers")
 	baselines := flag.Bool("baselines", false, "also run the scalar and scoreboard baselines")
+	verify := flag.Bool("verify", false, "validate the IR after every compiler pass")
+	timePasses := flag.Bool("time-passes", false, "print per-pass compile timing to stderr")
+	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf")
@@ -49,7 +53,10 @@ func main() {
 	if *profRun {
 		mode = core.ProfileRun
 	}
-	res, err := core.Compile(string(src), core.Options{Config: cfg, Opt: lvl, Profile: mode})
+	res, err := core.Compile(string(src), core.Options{
+		Config: cfg, Opt: lvl, Profile: mode,
+		Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
+	})
 	if err != nil {
 		fatal(err)
 	}

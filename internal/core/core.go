@@ -3,16 +3,27 @@
 // scheduling, register allocation, and linking, producing an executable
 // image for the vliw simulator. This is the public engine behind the
 // top-level trace package and the cmd tools.
+//
+// The driver is structured as an explicit pass pipeline (internal/pipeline):
+// the classical optimizations and profile estimation run as registered
+// passes with per-pass timing, IR-size deltas, optional IR dumps, and — in
+// verify mode — an IR validation at every pass boundary. The per-function
+// backend (trace scheduling and machine lowering) fans out over a bounded
+// worker pool; linking stays sequential.
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/isa"
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/pipeline"
 	"github.com/multiflow-repro/trace/internal/profile"
 	"github.com/multiflow-repro/trace/internal/tsched"
 	"github.com/multiflow-repro/trace/internal/vliw"
@@ -40,6 +51,20 @@ type Options struct {
 	// ("quantifying the speedups due to trace scheduling vs. those achieved
 	// by more universal compiler optimizations").
 	MaxTraceBlocks int
+
+	// Verify validates the IR after every pipeline pass, so a broken pass
+	// fails at its own boundary instead of as a mystery scheduler error.
+	Verify bool
+	// TimePasses prints the per-pass timing/size report to stderr when
+	// compilation finishes (the report is also always available as
+	// Result.Report).
+	TimePasses bool
+	// DumpIR, when non-nil, receives a printout of the IR after every pass.
+	DumpIR io.Writer
+	// Parallelism bounds the worker pool the per-function backend fans out
+	// over: 0 = one worker per CPU, 1 = sequential, N = at most N workers.
+	// Output is identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions compiles for the 4-pair TRACE 28/200 at full optimization
@@ -56,6 +81,17 @@ type Result struct {
 	Profile  ir.Profile
 	OptIR    *ir.Program // the optimized IR actually scheduled
 	SourceIR *ir.Program // the unoptimized reference IR
+
+	// Report is the per-pass timing and IR-size record of the successful
+	// attempt (classical passes, profiling, scheduling, linking).
+	Report pipeline.Report
+	// Attempts counts compilation attempts: 1 plus one per §8.4
+	// pressure-driven retry with gentler optimization settings.
+	Attempts int
+	// OptUsed is the optimization configuration of the successful attempt —
+	// it differs from Options.Opt when register pressure forced a retry
+	// with halved unrolling or inlining disabled.
+	OptUsed opt.Options
 }
 
 // Compile compiles MF source text.
@@ -82,50 +118,62 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 	optCfg := opts.Opt
 	for attempt := 0; ; attempt++ {
 		work := prog.Clone()
-		res.Opt = opt.Run(work, optCfg)
-		switch opts.Profile {
-		case ProfileRun:
-			res.Profile = profile.FromRun(work)
-		default:
-			res.Profile = profile.Static(work)
+		ctx := pipeline.NewContext()
+		ctx.Verify = opts.Verify
+		ctx.DumpIR = opts.DumpIR
+
+		// Front half: classical optimization then profile estimation, as
+		// registered passes.
+		opsBefore := pipeline.CountOps(work)
+		passes := append(opt.Passes(optCfg), profile.Pass(opts.Profile == ProfileRun))
+		if err := pipeline.Run(work, ctx, passes...); err != nil {
+			return nil, err
 		}
-		codes, err := tsched.CompileWithLimit(work, opts.Config, res.Profile, opts.MaxTraceBlocks)
+		res.Opt = opt.StatsFrom(ctx, opsBefore, pipeline.CountOps(work))
+		res.Profile = ctx.Profile
+
+		// Back half: per-function trace scheduling fans out over the worker
+		// pool; linking is sequential.
+		var codes []*tsched.FuncCode
+		err := ctx.Stage("tsched", work, func() error {
+			var err error
+			codes, err = tsched.CompileParallel(work, opts.Config, res.Profile, tsched.CompileOptions{
+				MaxTraceBlocks: opts.MaxTraceBlocks,
+				Parallelism:    opts.Parallelism,
+			})
+			return err
+		})
 		if err != nil {
 			var ep *tsched.ErrPressure
-			if asPressure(err, &ep) && optCfg.UnrollFactor > 1 {
+			if errors.As(err, &ep) && optCfg.UnrollFactor > 1 {
 				optCfg.UnrollFactor /= 2
 				continue
 			}
-			if asPressure(err, &ep) && optCfg.Inline {
+			if errors.As(err, &ep) && optCfg.Inline {
 				optCfg.Inline = false
 				continue
 			}
 			return nil, fmt.Errorf("schedule: %w", err)
 		}
-		img, err := isa.Link(work, codes, opts.Config)
-		if err != nil {
+		var img *isa.Image
+		if err := ctx.Stage("link", work, func() error {
+			var err error
+			img, err = isa.Link(work, codes, opts.Config)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		res.Funcs = codes
 		res.OptIR = work
 		res.Image = img
+		res.Report = ctx.Report
+		res.Attempts = attempt + 1
+		res.OptUsed = optCfg
+		if opts.TimePasses {
+			fmt.Fprint(os.Stderr, ctx.Report.String())
+		}
 		return res, nil
 	}
-}
-
-func asPressure(err error, out **tsched.ErrPressure) bool {
-	for err != nil {
-		if ep, ok := err.(*tsched.ErrPressure); ok {
-			*out = ep
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
 }
 
 // Run executes the compiled image on a fresh machine and returns the exit

@@ -1,6 +1,9 @@
 package opt
 
-import "github.com/multiflow-repro/trace/internal/ir"
+import (
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/pipeline"
+)
 
 // Options configures the classical-optimization pipeline.
 type Options struct {
@@ -65,34 +68,17 @@ type Stats struct {
 }
 
 // Run applies the full classical pipeline to the program and returns stats.
-// Order: inline → per-function cleanup (LVN/copyprop/branch-fold/DCE) →
-// LICM → unroll → cleanup again. Unrolling runs after LICM so invariants are
-// hoisted once, not per copy.
+// It is a thin wrapper over Passes executed by the pipeline driver; callers
+// that want per-pass instrumentation run Passes through pipeline.Run
+// themselves (as the core driver does).
 func Run(p *ir.Program, opts Options) Stats {
-	opts = opts.withDefaults()
-	var st Stats
-	for _, f := range p.Funcs {
-		st.OpsBefore += countOps(f)
+	ctx := pipeline.NewContext()
+	before := pipeline.CountOps(p)
+	// Classical passes never fail without verify mode enabled.
+	if err := pipeline.Run(p, ctx, Passes(opts)...); err != nil {
+		panic("opt: classical pass failed: " + err.Error())
 	}
-	if opts.Inline {
-		st.Inlined = Inline(p, opts.InlineThreshold, opts.InlineGrowthCap)
-	}
-	for _, f := range p.Funcs {
-		st.Simplified += cleanup(f)
-		st.Hoisted += LICM(f)
-		if opts.UnrollFactor > 1 {
-			st.Unrolled += Unroll(f, opts.UnrollFactor, opts.UnrollMaxOps)
-		}
-		if opts.TailDup {
-			st.TailDups += TailDup(f, 12, opts.TailDupBudget)
-		}
-		st.Simplified += cleanup(f)
-		st.Removed += DCE(f)
-	}
-	for _, f := range p.Funcs {
-		st.OpsAfter += countOps(f)
-	}
-	return st
+	return StatsFrom(ctx, before, pipeline.CountOps(p))
 }
 
 // cleanup iterates the cheap local passes to a fixed point.

@@ -1,0 +1,150 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/pipeline"
+)
+
+func mustProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("lang.Compile: %v", err)
+	}
+	return p
+}
+
+const tinySrc = `func main() int { var x int = 3; if (x > 1) { x = x * 2 } return x }`
+
+// TestVerifyCatchesBrokenPass is the acceptance test for verify mode: a pass
+// that corrupts the IR must fail at its own boundary, named in the error,
+// instead of surfacing later as a mystery scheduler failure.
+func TestVerifyCatchesBrokenPass(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	good := pipeline.New("good", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+	breaker := pipeline.New("breaker", func(p *ir.Program, ctx *pipeline.Context) error {
+		// Duplicate the entry block's terminator: the first copy is now a
+		// terminator in a non-final position, which ir.Validate rejects.
+		b := p.Funcs[0].Blocks[0]
+		b.Ops = append(b.Ops, b.Ops[len(b.Ops)-1])
+		return nil
+	})
+	after := pipeline.New("after", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+
+	ctx := pipeline.NewContext()
+	ctx.Verify = true
+	err := pipeline.Run(p, ctx, good, breaker, after)
+	if err == nil {
+		t.Fatal("verify mode did not catch the broken pass")
+	}
+	if !strings.Contains(err.Error(), "breaker") {
+		t.Errorf("error does not blame the broken pass: %v", err)
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Errorf("error does not mention verify mode: %v", err)
+	}
+	// The pipeline must have stopped at the broken pass.
+	names := []string{}
+	for _, pt := range ctx.Report.Passes {
+		names = append(names, pt.Name)
+	}
+	if strings.Join(names, ",") != "good,breaker" {
+		t.Errorf("passes executed: %v, want to stop at breaker", names)
+	}
+}
+
+// Without verify mode the same corruption sails through the pipeline —
+// that contrast is what the mode buys.
+func TestNoVerifyMissesBrokenPass(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	breaker := pipeline.New("breaker", func(p *ir.Program, ctx *pipeline.Context) error {
+		b := p.Funcs[0].Blocks[0]
+		b.Ops = append(b.Ops, b.Ops[len(b.Ops)-1])
+		return nil
+	})
+	if err := pipeline.Run(p, pipeline.NewContext(), breaker); err != nil {
+		t.Fatalf("unexpected error without verify: %v", err)
+	}
+}
+
+func TestReportTimingsAndDeltas(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	grow := pipeline.New("grow", func(p *ir.Program, ctx *pipeline.Context) error {
+		// Duplicate a non-terminator op: a visible +1 op delta.
+		b := p.Funcs[0].Blocks[0]
+		b.Ops = append([]ir.Op{b.Ops[0]}, b.Ops...)
+		return nil
+	})
+	nop := pipeline.New("nop", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+
+	ctx := pipeline.NewContext()
+	if err := pipeline.Run(p, ctx, grow, nop); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Report.Passes) != 2 {
+		t.Fatalf("report has %d entries, want 2", len(ctx.Report.Passes))
+	}
+	g := ctx.Report.Passes[0]
+	if g.Name != "grow" || g.OpsAfter != g.OpsBefore+1 {
+		t.Errorf("grow entry = %+v, want +1 op delta", g)
+	}
+	n := ctx.Report.Passes[1]
+	if n.OpsAfter != n.OpsBefore {
+		t.Errorf("nop entry = %+v, want zero delta", n)
+	}
+	s := ctx.Report.String()
+	for _, want := range []string{"pass", "grow", "nop", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDumpIRAfterEveryPass(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	var sb strings.Builder
+	ctx := pipeline.NewContext()
+	ctx.DumpIR = &sb
+	a := pipeline.New("alpha", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+	b := pipeline.New("beta", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+	if err := pipeline.Run(p, ctx, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "after pass alpha") || !strings.Contains(out, "after pass beta") {
+		t.Errorf("dump output missing per-pass headers:\n%.200s", out)
+	}
+	if !strings.Contains(out, "main") {
+		t.Errorf("dump output does not include the IR body")
+	}
+}
+
+func TestMetricsAndPerFunc(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	count := pipeline.PerFunc("count-blocks", "blocks", func(f *ir.Func) int { return len(f.Blocks) })
+	ctx := pipeline.NewContext()
+	if err := pipeline.Run(p, ctx, count); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Metric("blocks"); got == 0 {
+		t.Error("PerFunc metric not recorded")
+	}
+	if got := ctx.Metric("absent"); got != 0 {
+		t.Errorf("missing metric reads %d, want 0", got)
+	}
+}
+
+func TestStageRecordsIntoReport(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	ctx := pipeline.NewContext()
+	if err := ctx.Stage("backend", p, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Report.Passes) != 1 || ctx.Report.Passes[0].Name != "backend" {
+		t.Fatalf("stage not recorded: %+v", ctx.Report.Passes)
+	}
+}

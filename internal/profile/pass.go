@@ -1,0 +1,26 @@
+package profile
+
+import (
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/pipeline"
+)
+
+// Pass returns profile estimation as a registered pipeline pass. It does not
+// modify the IR; it deposits the edge-weight profile in the pipeline Context
+// for the trace-selection stage downstream. With useRun set it executes the
+// program in the IR interpreter for an exact profile ("profiling"),
+// otherwise it applies the static loop-depth heuristics ("heuristics", §4).
+func Pass(useRun bool) pipeline.Pass {
+	name := "profile-static"
+	if useRun {
+		name = "profile-run"
+	}
+	return pipeline.New(name, func(p *ir.Program, ctx *pipeline.Context) error {
+		if useRun {
+			ctx.Profile = FromRun(p)
+		} else {
+			ctx.Profile = Static(p)
+		}
+		return nil
+	})
+}

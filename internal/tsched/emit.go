@@ -2,7 +2,6 @@ package tsched
 
 import (
 	"fmt"
-	"os"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/mach"
@@ -129,41 +128,8 @@ func Compile(prog *ir.Program, cfg mach.Config, prof ir.Profile) ([]*FuncCode, e
 }
 
 // CompileWithLimit is Compile with a trace-length cap (0 = unlimited);
-// maxTraceBlocks = 1 restricts compaction to basic blocks.
+// maxTraceBlocks = 1 restricts compaction to basic blocks. Compilation is
+// sequential; CompileParallel fans the same work out over a worker pool.
 func CompileWithLimit(prog *ir.Program, cfg mach.Config, prof ir.Profile, maxTraceBlocks int) ([]*FuncCode, error) {
-	layout, _ := ir.LayoutGlobals(prog)
-	ladder := []int{0, 6, 2, 1}
-	if maxTraceBlocks > 0 {
-		ladder = []int{}
-		for _, m := range []int{maxTraceBlocks, 2, 1} {
-			if m <= maxTraceBlocks {
-				ladder = append(ladder, m)
-			}
-		}
-	}
-	var out []*FuncCode
-	for _, f := range prog.Funcs {
-		vf, err := LowerFunc(prog, f, f.Name == "main")
-		if err != nil {
-			return nil, err
-		}
-		var fc *FuncCode
-		for _, maxBlocks := range ladder {
-			fc, err = CompileFunc(cfg, vf, prof[f.Name], layout, maxBlocks)
-			if err == nil {
-				break
-			}
-			if _, pressure := err.(*ErrPressure); !pressure {
-				return nil, err
-			}
-			if os.Getenv("TSCHED_DEBUG") != "" {
-				fmt.Fprintf(os.Stderr, "tsched: %s: %v; retrying with traces <= %d blocks\n", f.Name, err, maxBlocks)
-			}
-		}
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, fc)
-	}
-	return out, nil
+	return CompileParallel(prog, cfg, prof, CompileOptions{MaxTraceBlocks: maxTraceBlocks, Parallelism: 1})
 }

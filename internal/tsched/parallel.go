@@ -1,0 +1,121 @@
+package tsched
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// CompileOptions configures a whole-program backend run.
+type CompileOptions struct {
+	// MaxTraceBlocks caps trace length (0 = unlimited; 1 = basic-block
+	// compaction only).
+	MaxTraceBlocks int
+	// Parallelism bounds the worker pool compiling functions concurrently:
+	// 0 means one worker per available CPU, 1 forces sequential
+	// compilation, N>1 uses at most N workers. Output is deterministic and
+	// identical at every setting: functions are compiled independently and
+	// results are ordered by function index, not completion order.
+	Parallelism int
+}
+
+// CompileParallel lowers and schedules every function of the program for
+// the given machine, fanning the per-function backend (lowering, trace
+// selection, list scheduling, register-bank allocation, emission) out over
+// a bounded worker pool. It modifies prog (call spills); callers pass a
+// private copy. Functions whose register demand overflows a bank are
+// retried with shorter traces before the error is surfaced.
+//
+// Function compilations are independent — the only shared inputs are the
+// read-only profile and global layout — so the fan-out preserves sequential
+// results exactly; linking stays sequential in the caller.
+func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o CompileOptions) ([]*FuncCode, error) {
+	layout, _ := ir.LayoutGlobals(prog)
+	ladder := retryLadder(o.MaxTraceBlocks)
+
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prog.Funcs) {
+		workers = len(prog.Funcs)
+	}
+
+	out := make([]*FuncCode, len(prog.Funcs))
+	errs := make([]error, len(prog.Funcs))
+	if workers <= 1 {
+		for i, f := range prog.Funcs {
+			out[i], errs[i] = compileOne(cfg, prog, f, prof[f.Name], layout, ladder)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					f := prog.Funcs[i]
+					out[i], errs[i] = compileOne(cfg, prog, f, prof[f.Name], layout, ladder)
+				}
+			}()
+		}
+		for i := range prog.Funcs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Surface the failure of the earliest function so the error is the same
+	// one sequential compilation reports, regardless of completion order.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// compileOne runs the whole backend on a single function, descending the
+// trace-length retry ladder on register pressure.
+func compileOne(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]float64, layout map[string]int64, ladder []int) (*FuncCode, error) {
+	vf, err := LowerFunc(prog, f, f.Name == "main")
+	if err != nil {
+		return nil, err
+	}
+	var fc *FuncCode
+	for _, maxBlocks := range ladder {
+		fc, err = CompileFunc(cfg, vf, prof, layout, maxBlocks)
+		if err == nil {
+			return fc, nil
+		}
+		if _, pressure := err.(*ErrPressure); !pressure {
+			return nil, err
+		}
+		if os.Getenv("TSCHED_DEBUG") != "" {
+			fmt.Fprintf(os.Stderr, "tsched: %s: %v; retrying with traces <= %d blocks\n", f.Name, err, maxBlocks)
+		}
+	}
+	return nil, err
+}
+
+// retryLadder returns the descending trace-length caps tried on register
+// pressure: unlimited, then 6, 2, 1 blocks; with an explicit cap, the caps
+// at or below it.
+func retryLadder(maxTraceBlocks int) []int {
+	if maxTraceBlocks <= 0 {
+		return []int{0, 6, 2, 1}
+	}
+	ladder := []int{}
+	for _, m := range []int{maxTraceBlocks, 2, 1} {
+		if m <= maxTraceBlocks {
+			ladder = append(ladder, m)
+		}
+	}
+	return ladder
+}

@@ -105,7 +105,7 @@ func ExpE3() ([]*Table, error) {
 			return nil, err
 		}
 		vax := baseline.VAXSize(prog)
-		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +244,7 @@ func main() int {
 	// on the hardware bank-stall. This separates the compiler's contribution
 	// from the hardware's.
 	{
-		res, err := core.Compile(unit.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		res, err := core.Compile(unit.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -391,7 +391,7 @@ func ExpE7() ([]*Table, error) {
 	}
 	{
 		cfg := mach.Trace28()
-		res, err := core.Compile(daxpy.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		res, err := core.Compile(daxpy.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +434,7 @@ func ExpE7() ([]*Table, error) {
 	}
 	cfg := mach.Trace28()
 	for _, w := range []Workload{fir, scanner} {
-		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default()})
+		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -579,7 +579,7 @@ func ExpE10() ([]*Table, error) {
 	for _, w := range []Workload{daxpy, sortW} {
 		for _, u := range []int{1, 2, 4, 8, 16} {
 			lvl := opt.Options{Inline: true, UnrollFactor: u}
-			res, err := core.Compile(w.Src, core.Options{Config: mach.Trace28(), Opt: lvl, Profile: core.ProfileRun})
+			res, err := core.Compile(w.Src, core.Options{Config: mach.Trace28(), Opt: lvl, Profile: core.ProfileRun, Parallelism: Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -715,7 +715,7 @@ func ExpE13() ([]*Table, error) {
 			return nil, err
 		}
 		blocksRes, err := core.Compile(w.Src, core.Options{
-			Config: cfg, Opt: opt.Default(), Profile: core.ProfileRun, MaxTraceBlocks: 1})
+			Config: cfg, Opt: opt.Default(), Profile: core.ProfileRun, MaxTraceBlocks: 1, Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}

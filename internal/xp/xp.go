@@ -13,6 +13,11 @@ import (
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
+// Parallelism bounds the compiler's backend worker pool for every
+// compilation the harness runs (0 = one worker per CPU, 1 = sequential).
+// cmd/tracebench sets it from -j; output is identical at every setting.
+var Parallelism int
+
 // Table is one experiment's output: rows of measurements plus the paper
 // claim the shape is checked against.
 type Table struct {
@@ -132,7 +137,7 @@ func runOn(w Workload, cfg mach.Config, lvl opt.Options, profRun bool) (*vliw.St
 	if profRun {
 		prof = core.ProfileRun
 	}
-	res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: lvl, Profile: prof})
+	res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: lvl, Profile: prof, Parallelism: Parallelism})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
 	}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI gate: formatting, vet, and the full test suite under the race detector
+# (the compiler's parallel per-function backend must stay race-clean).
+# Equivalent to `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== ok"

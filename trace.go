@@ -27,12 +27,15 @@
 package trace
 
 import (
+	"io"
+
 	"github.com/multiflow-repro/trace/internal/baseline"
 	"github.com/multiflow-repro/trace/internal/core"
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/pipeline"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
@@ -67,6 +70,19 @@ type Options struct {
 	// scheduling vs. those achieved by more universal compiler
 	// optimizations".
 	BasicBlockOnly bool
+	// Verify validates the IR after every compiler pass, so a broken pass
+	// fails at its own boundary instead of as a mystery scheduler error.
+	Verify bool
+	// TimePasses prints the per-pass timing/size report to stderr after
+	// compilation (also always available as Result.Report).
+	TimePasses bool
+	// DumpIR, when non-nil, receives a printout of the IR after every
+	// compiler pass.
+	DumpIR io.Writer
+	// Parallelism bounds the worker pool that compiles functions
+	// concurrently in the backend: 0 = one worker per CPU, 1 = sequential,
+	// N = at most N workers. Output is identical at every setting.
+	Parallelism int
 }
 
 // OptLevel selects how aggressively the classical optimizer runs.
@@ -86,6 +102,10 @@ const (
 // Result is a compiled program: an executable image plus compilation
 // artifacts for inspection.
 type Result = core.Result
+
+// PassReport is the per-pass timing and IR-size record of a compilation
+// (Result.Report); its String method renders the -time-passes table.
+type PassReport = pipeline.Report
 
 // Stats is the simulator's performance counters.
 type Stats = vliw.Stats
@@ -140,7 +160,10 @@ func (o Options) toCore() core.Options {
 	if o.BasicBlockOnly {
 		maxBlocks = 1
 	}
-	return core.Options{Config: cfg, Opt: lvl, Profile: prof, MaxTraceBlocks: maxBlocks}
+	return core.Options{
+		Config: cfg, Opt: lvl, Profile: prof, MaxTraceBlocks: maxBlocks,
+		Verify: o.Verify, TimePasses: o.TimePasses, DumpIR: o.DumpIR, Parallelism: o.Parallelism,
+	}
 }
 
 // Compile compiles MF source text for the configured machine.
