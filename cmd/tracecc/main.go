@@ -65,7 +65,7 @@ func main() {
 	if *dumpIR {
 		copts.DumpIR = os.Stdout
 	}
-	res, err := core.Compile(string(src), copts)
+	res, err := core.CompileFile(flag.Arg(0), string(src), copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,7 +80,7 @@ func main() {
 	}
 	if *stats {
 		fixed, packed, ops := res.Image.CodeSizes()
-		prog, _ := lang.Compile(string(src))
+		prog, _ := lang.CompileFile(flag.Arg(0), string(src))
 		vax := baseline.VAXSize(prog)
 		fmt.Printf("target:            %s (%d ops/instr, %d-bit word)\n", cfg.Name, cfg.OpsPerInstr(), cfg.InstrBits())
 		fmt.Printf("instructions:      %d\n", len(res.Image.Instrs))

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
-//	         [-trace] [-baselines] prog.mf
+//	         [-trace] [-baselines] [-max-cycles N] prog.mf
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	verify := flag.Bool("verify", false, "validate the IR after every compiler pass")
 	timePasses := flag.Bool("time-passes", false, "print per-pass compile timing to stderr")
 	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
+	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf")
@@ -53,7 +54,7 @@ func main() {
 	if *profRun {
 		mode = core.ProfileRun
 	}
-	res, err := core.Compile(string(src), core.Options{
+	res, err := core.CompileFile(flag.Arg(0), string(src), core.Options{
 		Config: cfg, Opt: lvl, Profile: mode,
 		Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
 	})
@@ -62,6 +63,9 @@ func main() {
 	}
 
 	m := vliw.New(res.Image)
+	if *maxCycles > 0 {
+		m.CycleLimit = *maxCycles
+	}
 	if *traceExec {
 		last := -2
 		m.TraceFn = func(pc int, beat int64) {
@@ -93,7 +97,7 @@ func main() {
 	fmt.Printf("branches:    %d executed, %d taken\n", st.Branches, st.Taken)
 
 	if *baselines {
-		prog, err := lang.Compile(string(src))
+		prog, err := lang.CompileFile(flag.Arg(0), string(src))
 		if err != nil {
 			fatal(err)
 		}
@@ -101,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prog2, _ := lang.Compile(string(src))
+		prog2, _ := lang.CompileFile(flag.Arg(0), string(src))
 		sb, _, _, err := baseline.Scoreboard(prog2, cfg)
 		if err != nil {
 			fatal(err)

@@ -66,12 +66,19 @@ func isFloat(k ir.OpKind) bool {
 // operands' pipelines have drained. Branches redirect in one beat. This is
 // the machine the paper's factor-of-ten claims are measured against.
 func Scalar(prog *ir.Program, cfg mach.Config) (Result, int32, string, error) {
+	return ScalarBudget(prog, cfg, 0)
+}
+
+// ScalarBudget is Scalar with an explicit interpreter step budget (0 uses
+// the interpreter default). The differential fuzz oracle uses a small
+// budget so a generator bug cannot wedge a fuzz worker for minutes.
+func ScalarBudget(prog *ir.Program, cfg mach.Config, stepLimit int64) (Result, int32, string, error) {
 	var res Result
 	var clock int64 // next free issue beat
 	ready := map[regKey]int64{}
 	depth := 0
 
-	in := &ir.Interp{Prog: prog}
+	in := &ir.Interp{Prog: prog, StepLimit: stepLimit}
 	in.OnOp = func(f *ir.Func, block int, o *ir.Op) {
 		switch o.Kind {
 		case ir.Nop:

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestBadTestdataRejectedWithPosition: every malformed input checked into
+// testdata/bad must fail compilation with a "file:line:col: message"
+// diagnostic — the same failure path tracecc and tracesim print before
+// exiting non-zero.
+func TestBadTestdataRejectedWithPosition(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/bad/*.mf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bad testdata found: %v", err)
+	}
+	diagRE := regexp.MustCompile(`^[^:\n]+\.mf:[1-9][0-9]*:[1-9][0-9]*: .+`)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(f)
+		_, cerr := CompileFile(name, string(src), DefaultOptions())
+		if cerr == nil {
+			t.Errorf("%s: compiled successfully, want positioned error", name)
+			continue
+		}
+		if !diagRE.MatchString(cerr.Error()) {
+			t.Errorf("%s: diagnostic not positioned as file:line:col: %q", name, cerr)
+		}
+	}
+}
+
+// TestGoodTestdataStillCompiles guards against the bad/ sweep accidentally
+// matching the known-good example programs.
+func TestGoodTestdataStillCompiles(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.mf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, cerr := CompileFile(filepath.Base(f), string(src), DefaultOptions()); cerr != nil {
+			t.Errorf("%s: %v", filepath.Base(f), cerr)
+		}
+	}
+}

@@ -103,6 +103,16 @@ func Compile(src string, opts Options) (*Result, error) {
 	return CompileIR(prog, opts)
 }
 
+// CompileFile compiles MF source read from a named file; frontend
+// diagnostics render as "name:line:col: message".
+func CompileFile(name, src string, opts Options) (*Result, error) {
+	prog, err := lang.CompileFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileIR(prog, opts)
+}
+
 // CompileIR compiles an IR program (which is not modified).
 func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 	if err := opts.Config.Validate(); err != nil {
@@ -145,11 +155,13 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 		})
 		if err != nil {
 			var ep *tsched.ErrPressure
-			if errors.As(err, &ep) && optCfg.UnrollFactor > 1 {
+			var es *tsched.ErrScheduleSize
+			capacity := errors.As(err, &ep) || errors.As(err, &es)
+			if capacity && optCfg.UnrollFactor > 1 {
 				optCfg.UnrollFactor /= 2
 				continue
 			}
-			if errors.As(err, &ep) && optCfg.Inline {
+			if capacity && optCfg.Inline {
 				optCfg.Inline = false
 				continue
 			}

@@ -1,0 +1,95 @@
+package fuzz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/lang"
+)
+
+// TestGenDeterministic: the generator is a pure function of its seed — the
+// whole harness depends on a seed being a reproducible bug report.
+func TestGenDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		if Gen(seed) != Gen(seed) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if Gen(1) == Gen(2) {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// TestGenAlwaysCompiles: generated programs are valid MF by construction;
+// a frontend rejection would silently shrink fuzz coverage to nothing.
+func TestGenAlwaysCompiles(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		src := Gen(seed)
+		if _, err := lang.Compile(src); err != nil {
+			t.Errorf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestOracleCleanOnSeeds runs the full differential oracle on a handful of
+// seeds. Any divergence here is a real compiler or simulator bug.
+func TestOracleCleanOnSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle is slow")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		if err := CheckSeed(seed, Options{}); err != nil {
+			t.Errorf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
+		}
+	}
+}
+
+// TestOracleSkipsRejectedInput: inputs the frontend rejects are skips, not
+// findings — the compiler diagnosing garbage is correct behavior.
+func TestOracleSkipsRejectedInput(t *testing.T) {
+	for _, src := range []string{
+		"", "not a program", "func main() int { return x }", strings.Repeat("(", 100000),
+	} {
+		if err := Check(src, Options{}); !errors.Is(err, ErrSkip) {
+			t.Errorf("Check(%.20q) = %v, want ErrSkip", src, err)
+		}
+	}
+}
+
+// FuzzDifferential feeds arbitrary text through the whole stack: frontend,
+// every optimization level, both backends, and the simulator. The property
+// is total: any input either compiles and runs identically to the scalar
+// reference everywhere, or is cleanly rejected. Panics, hangs, traps on
+// reference-clean programs, and nondeterministic images all fail the target.
+func FuzzDifferential(f *testing.F) {
+	f.Add("func main() int { return 42 }")
+	f.Add("func main() int { var a int = 7 print_i(a) return a * 6 }")
+	f.Add(Gen(1))
+	f.Add(Gen(2))
+	f.Add("func main() int { while (1 < 2) { } return 0 }") // nonterminating: ref budget skips it
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 32<<10 {
+			return // keep per-input cost bounded
+		}
+		// Tight budgets: the fuzzer's job is crash/divergence hunting, not
+		// long executions; runaway programs become skips via the ref budget.
+		err := Check(src, Options{RefSteps: 2_000_000})
+		if err != nil && !errors.Is(err, ErrSkip) {
+			t.Fatalf("%v", err)
+		}
+	})
+}
+
+// FuzzGen fuzzes the seed space of the generator: every seed must yield a
+// valid, terminating program that the whole matrix agrees on.
+func FuzzGen(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSeed(seed, Options{RefSteps: 5_000_000}); err != nil && !errors.Is(err, ErrSkip) {
+			t.Fatalf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
+		}
+	})
+}

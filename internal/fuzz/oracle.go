@@ -1,0 +1,184 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/multiflow-repro/trace/internal/baseline"
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/tsched"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// ErrSkip reports that an input cannot establish a reference result — it
+// does not compile, or the reference itself traps or exhausts its budget.
+// Skipped inputs are not findings: the compiler rejected or diagnosed them.
+var ErrSkip = errors.New("fuzz: input establishes no reference result")
+
+// Divergence is a confirmed oracle failure: the VLIW stack disagreed with
+// the scalar reference, or compilation was nondeterministic. Any Divergence
+// is a compiler or simulator bug.
+type Divergence struct {
+	Stage  string // "compile", "trap", "exit", "output", "image"
+	Config string // machine/opt/parallelism setting that diverged
+	Detail string
+	Src    string // the offending program
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("divergence [%s] at %s: %s", d.Stage, d.Config, d.Detail)
+}
+
+// Options tunes the oracle budgets.
+type Options struct {
+	// RefSteps bounds the reference interpreter (default 50M ops).
+	RefSteps int64
+	// MaxCycles bounds each VLIW run (default scales with the reference).
+	MaxCycles int64
+}
+
+// matrix is the compile-and-run settings every input is checked across:
+// every optimization level, multiple machine widths, and the basic-block-only
+// ablation. The full-optimization Trace 28 setting is exercised separately by
+// checkO2 so its compile also feeds the image-determinism comparison.
+var matrix = []struct {
+	name     string
+	cfg      func() mach.Config
+	opt      func() opt.Options
+	maxTrace int
+	jobs     int
+}{
+	{"trace7/O0/j1", mach.Trace7, opt.None, 0, 1},
+	{"trace14/O1/j1", mach.Trace14, func() opt.Options { return opt.Options{Inline: true, UnrollFactor: 4} }, 0, 1},
+	{"trace28/O2/bb-only/j1", mach.Trace28, opt.Default, 1, 1},
+}
+
+// Check runs the full differential oracle on one MF source text. It returns
+// nil when every configuration agrees with the scalar reference, ErrSkip
+// when the input establishes no reference, and a *Divergence otherwise.
+func Check(src string, o Options) error {
+	if o.RefSteps == 0 {
+		o.RefSteps = 50_000_000
+	}
+
+	// Reference: the IR interpreter underneath the scalar baseline is the
+	// semantic ground truth; it shares no code with the scheduler or the
+	// VLIW machine model.
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return ErrSkip // frontend rejected it with a positioned diagnostic
+	}
+	refRes, wantV, wantOut, rerr := baseline.ScalarBudget(prog, mach.Trace7(), o.RefSteps)
+	if rerr != nil {
+		return ErrSkip // reference traps or exceeds budget: no ground truth
+	}
+	maxCycles := o.MaxCycles
+	if maxCycles == 0 {
+		// A VLIW beat retires at most a few ops; anything past this factor
+		// of the reference op count is a wedged or miscompiled program.
+		maxCycles = 200*refRes.Ops + 2_000_000
+	}
+
+	for _, m := range matrix {
+		copts := core.Options{
+			Config: m.cfg(), Opt: m.opt(),
+			MaxTraceBlocks: m.maxTrace, Parallelism: m.jobs,
+		}
+		res, err := core.Compile(src, copts)
+		if err != nil {
+			// The machine is finite and the allocator does not spill: a
+			// structured capacity rejection on a narrow config is the
+			// compiler refusing honestly, not a bug. Anything else —
+			// including a recovered panic — is a finding.
+			if isCapacityReject(err) {
+				continue
+			}
+			return &Divergence{Stage: "compile", Config: m.name,
+				Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
+		}
+		mach := vliw.New(res.Image)
+		mach.CycleLimit = maxCycles
+		gotV, gotOut, err := mach.Run()
+		if err != nil {
+			return &Divergence{Stage: "trap", Config: m.name,
+				Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", err), Src: src}
+		}
+		if gotV != wantV {
+			return &Divergence{Stage: "exit", Config: m.name,
+				Detail: fmt.Sprintf("exit %d, reference %d", gotV, wantV), Src: src}
+		}
+		if gotOut != wantOut {
+			return &Divergence{Stage: "output", Config: m.name,
+				Detail: fmt.Sprintf("output %q, reference %q", gotOut, wantOut), Src: src}
+		}
+	}
+
+	// Full optimization on the widest machine, sequential and parallel
+	// backends: run the sequential image against the reference, then require
+	// the 4-worker build to be byte-identical.
+	return checkO2(src, wantV, wantOut, maxCycles)
+}
+
+// isCapacityReject reports whether err is one of the compiler's structured
+// finite-machine rejections (register pressure after the full retry ladder,
+// or the schedule-size runaway guard).
+func isCapacityReject(err error) bool {
+	var ep *tsched.ErrPressure
+	var es *tsched.ErrScheduleSize
+	return errors.As(err, &ep) || errors.As(err, &es)
+}
+
+// checkO2 compiles at full optimization for Trace 28 with a sequential and a
+// 4-worker backend, checks the sequential image against the reference result,
+// and requires the parallel build to be byte-identical to the sequential one.
+func checkO2(src string, wantV int32, wantOut string, maxCycles int64) error {
+	opts := func(jobs int) core.Options {
+		return core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: jobs}
+	}
+	seq, err := core.Compile(src, opts(1))
+	if err != nil {
+		if isCapacityReject(err) {
+			return nil
+		}
+		return &Divergence{Stage: "compile", Config: "trace28/O2/j1",
+			Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
+	}
+	m := vliw.New(seq.Image)
+	m.CycleLimit = maxCycles
+	gotV, gotOut, rerr := m.Run()
+	if rerr != nil {
+		return &Divergence{Stage: "trap", Config: "trace28/O2/j1",
+			Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", rerr), Src: src}
+	}
+	if gotV != wantV || gotOut != wantOut {
+		return &Divergence{Stage: "exit", Config: "trace28/O2/j1",
+			Detail: fmt.Sprintf("exit %d output %q, reference %d %q", gotV, gotOut, wantV, wantOut), Src: src}
+	}
+
+	par, err := core.Compile(src, opts(4))
+	if err != nil {
+		return &Divergence{Stage: "image", Config: "trace28/O2/j4",
+			Detail: fmt.Sprintf("sequential build succeeded but parallel build failed: %v", err), Src: src}
+	}
+	if len(par.Image.Instrs) != len(seq.Image.Instrs) {
+		return &Divergence{Stage: "image", Config: "trace28/O2/j4",
+			Detail: fmt.Sprintf("instruction count %d vs %d", len(par.Image.Instrs), len(seq.Image.Instrs)), Src: src}
+	}
+	for i := range seq.Image.Words {
+		for w := range seq.Image.Words[i] {
+			if seq.Image.Words[i][w] != par.Image.Words[i][w] {
+				return &Divergence{Stage: "image", Config: "trace28/O2/j4",
+					Detail: fmt.Sprintf("instr %d word %d differs between j1 and j4 builds", i, w), Src: src}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSeed generates the program for seed and runs the oracle on it.
+func CheckSeed(seed int64, o Options) error {
+	return Check(Gen(seed), o)
+}

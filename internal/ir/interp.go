@@ -75,6 +75,10 @@ type Interp struct {
 	MemSize int64
 	// StepLimit bounds executed ops (default 200M) to catch runaway loops.
 	StepLimit int64
+	// MaxDepth bounds call nesting (default 10000). The stack-overflow check
+	// on sp alone cannot catch a zero-frame recursive function, which would
+	// otherwise recurse the Go stack itself to death.
+	MaxDepth int
 	// Profile, when non-nil, accumulates edge counts during execution.
 	Profile Profile
 	// WatchStore, when non-nil, observes every store (address, raw value).
@@ -88,6 +92,7 @@ type Interp struct {
 	out      bytes.Buffer
 	steps    int64
 	sp       int64
+	depth    int
 	gaddr    map[string]int64
 	maxFrame int64
 }
@@ -118,6 +123,10 @@ func (in *Interp) Run() (int32, string, error) {
 	if in.StepLimit == 0 {
 		in.StepLimit = 200_000_000
 	}
+	if in.MaxDepth == 0 {
+		in.MaxDepth = 10_000
+	}
+	in.depth = 0
 	in.mem = make([]byte, in.MemSize)
 	in.out.Reset()
 	in.steps = 0
@@ -154,13 +163,20 @@ func (in *Interp) call(f *Func, args []uint64) (uint64, error) {
 	if len(args) != len(f.Params) {
 		return 0, &RunError{f.Name, fmt.Sprintf("have %d args, want %d", len(args), len(f.Params))}
 	}
+	in.depth++
+	if in.depth > in.MaxDepth {
+		in.depth--
+		return 0, &RunError{f.Name, "call depth limit exceeded"}
+	}
 	frame := (f.FrameSize + 7) &^ 7
 	in.sp -= frame
 	fp := in.sp
 	if fp < GlobalBase {
+		in.sp += frame
+		in.depth--
 		return 0, &RunError{f.Name, "stack overflow"}
 	}
-	defer func() { in.sp += frame }()
+	defer func() { in.sp += frame; in.depth-- }()
 	if frame > in.maxFrame {
 		in.maxFrame = frame
 	}

@@ -377,3 +377,26 @@ func TestRPOAndPreds(t *testing.T) {
 		t.Errorf("head preds = %v", preds[1])
 	}
 }
+
+// TestInterpCallDepthLimit: a zero-frame recursive function never moves sp,
+// so the sp-based stack-overflow check can't fire; without the depth guard
+// the interpreter would recurse the host stack to death.
+func TestInterpCallDepthLimit(t *testing.T) {
+	p := &Program{}
+	f := NewFunc("spin", I32)
+	b := NewBuilder(f)
+	b.Ret(b.Call("spin", I32))
+	m := NewFunc("main", I32)
+	bm := NewBuilder(m)
+	bm.Ret(bm.Call("spin", I32))
+	p.Funcs = []*Func{m, f}
+
+	in := &Interp{Prog: p, MaxDepth: 500}
+	_, _, err := in.Run()
+	if err == nil {
+		t.Fatal("unbounded zero-frame recursion did not error")
+	}
+	if !strings.Contains(err.Error(), "call depth limit") {
+		t.Errorf("wrong diagnostic: %v", err)
+	}
+}

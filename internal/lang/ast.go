@@ -51,16 +51,22 @@ func (t Type) Equal(u Type) bool { return t == u }
 // Scalar reports whether t is int or float.
 func (t Type) Scalar() bool { return t.Kind == TInt || t.Kind == TFloat }
 
-// Expr is an expression node.
-type Expr interface{ exprNode() }
+// Expr is an expression node. At reports the node's source position.
+type Expr interface {
+	exprNode()
+	At() Pos
+}
 
 // Common expression header.
 type exprBase struct {
-	Line int
-	T    Type // set by the checker
+	Pos
+	T Type // set by the checker
 }
 
 func (exprBase) exprNode() {}
+
+// At reports the expression's source position.
+func (b exprBase) At() Pos { return b.Pos }
 
 // IntLit is an integer literal.
 type IntLit struct {
@@ -122,12 +128,18 @@ type Cast struct {
 	X  Expr
 }
 
-// Stmt is a statement node.
-type Stmt interface{ stmtNode() }
+// Stmt is a statement node. At reports the node's source position.
+type Stmt interface {
+	stmtNode()
+	At() Pos
+}
 
-type stmtBase struct{ Line int }
+type stmtBase struct{ Pos }
 
 func (stmtBase) stmtNode() {}
+
+// At reports the statement's source position.
+func (b stmtBase) At() Pos { return b.Pos }
 
 // VarStmt declares a local variable, optionally initialized.
 type VarStmt struct {
@@ -197,7 +209,7 @@ type BlockStmt struct {
 type Param struct {
 	Name string
 	Type Type
-	Line int
+	Pos  Pos
 }
 
 // FuncDecl is a function definition.
@@ -206,7 +218,7 @@ type FuncDecl struct {
 	Params []Param
 	Ret    Type // TVoid if none
 	Body   *BlockStmt
-	Line   int
+	Pos    Pos
 }
 
 // GlobalDecl is a top-level var.
@@ -219,7 +231,7 @@ type GlobalDecl struct {
 	InitListI []int64
 	InitListF []float64
 	HasInit   bool
-	Line      int
+	Pos       Pos
 }
 
 // File is a parsed source file.

@@ -1,6 +1,7 @@
 package lang
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/multiflow-repro/trace/internal/ir"
@@ -15,6 +16,20 @@ func Compile(src string) (*ir.Program, error) {
 	return Lower(file)
 }
 
+// CompileFile is Compile with the source's file name attached to any
+// diagnostic, so errors render as "name:line:col: message".
+func CompileFile(name, src string) (*ir.Program, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		var le *Error
+		if errors.As(err, &le) {
+			le.File = name
+		}
+		return nil, err
+	}
+	return prog, nil
+}
+
 // Lower type-checks and lowers a parsed file.
 func Lower(file *File) (*ir.Program, error) {
 	lw := &lowerer{
@@ -24,7 +39,7 @@ func Lower(file *File) (*ir.Program, error) {
 	prog := &ir.Program{}
 	for _, g := range file.Globals {
 		if lw.globals[g.Name] != nil {
-			return nil, errf(g.Line, "duplicate global %s", g.Name)
+			return nil, errf(g.Pos, "duplicate global %s", g.Name)
 		}
 		lw.globals[g.Name] = g
 		ig := &ir.Global{Name: g.Name}
@@ -53,10 +68,10 @@ func Lower(file *File) (*ir.Program, error) {
 	}
 	for _, fn := range file.Funcs {
 		if lw.funcs[fn.Name] != nil {
-			return nil, errf(fn.Line, "duplicate function %s", fn.Name)
+			return nil, errf(fn.Pos, "duplicate function %s", fn.Name)
 		}
 		if ir.IsBuiltin(fn.Name) {
-			return nil, errf(fn.Line, "%s is a builtin", fn.Name)
+			return nil, errf(fn.Pos, "%s is a builtin", fn.Name)
 		}
 		lw.funcs[fn.Name] = fn
 	}
@@ -92,7 +107,7 @@ type lowerer struct {
 	// loop context for break/continue
 	breakTo    []*ir.Block
 	continueTo []*ir.Block
-	line       int
+	pos        Pos
 }
 
 func irType(k TypeKind) ir.Type {
@@ -103,7 +118,7 @@ func irType(k TypeKind) ir.Type {
 }
 
 func (lw *lowerer) emit(op ir.Op) {
-	op.Line = lw.line
+	op.Line = lw.pos.Line
 	lw.b.Emit(op)
 }
 
@@ -116,10 +131,10 @@ func (lw *lowerer) lookup(name string) *local {
 	return nil
 }
 
-func (lw *lowerer) define(line int, name string, l *local) error {
+func (lw *lowerer) define(pos Pos, name string, l *local) error {
 	top := lw.scopes[len(lw.scopes)-1]
 	if _, ok := top[name]; ok {
-		return errf(line, "%s redeclared in this scope", name)
+		return errf(pos, "%s redeclared in this scope", name)
 	}
 	top[name] = l
 	return nil
@@ -135,7 +150,7 @@ func (lw *lowerer) lowerFunc(fn *FuncDecl) (*ir.Func, error) {
 	case TFloat:
 		ret = ir.F64
 	default:
-		return nil, errf(fn.Line, "function %s: bad return type %s", fn.Name, fn.Ret)
+		return nil, errf(fn.Pos, "function %s: bad return type %s", fn.Name, fn.Ret)
 	}
 	f := ir.NewFunc(fn.Name, ret)
 	lw.f = f
@@ -152,11 +167,11 @@ func (lw *lowerer) lowerFunc(fn *FuncDecl) (*ir.Func, error) {
 		case TFloat:
 			t = ir.F64
 		default:
-			return nil, errf(p.Line, "bad parameter type %s", p.Type)
+			return nil, errf(p.Pos, "bad parameter type %s", p.Type)
 		}
 		r := f.NewReg(t)
 		f.Params = append(f.Params, ir.Param{Reg: r, Type: t})
-		if err := lw.define(p.Line, p.Name, &local{typ: p.Type, reg: r}); err != nil {
+		if err := lw.define(p.Pos, p.Name, &local{typ: p.Type, reg: r}); err != nil {
 			return nil, err
 		}
 	}
@@ -212,7 +227,7 @@ func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
 func (lw *lowerer) stmt(s Stmt) error {
 	switch s := s.(type) {
 	case *VarStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		switch s.Type.Kind {
 		case TInt, TFloat, TRef:
 			t := irType(s.Type.Kind)
@@ -226,7 +241,7 @@ func (lw *lowerer) stmt(s Stmt) error {
 					return err
 				}
 				if !assignable(s.Type, vt) {
-					return errf(s.Line, "cannot initialize %s %s with %s", s.Name, s.Type, vt)
+					return errf(s.Pos, "cannot initialize %s %s with %s", s.Name, s.Type, vt)
 				}
 				lw.emit(ir.Op{Kind: ir.Mov, Type: t, Dst: r, Args: []ir.Reg{v}})
 			} else {
@@ -238,22 +253,22 @@ func (lw *lowerer) stmt(s Stmt) error {
 					lw.emit(ir.Op{Kind: ir.Mov, Type: t, Dst: r, Args: []ir.Reg{z}})
 				}
 			}
-			return lw.define(s.Line, s.Name, &local{typ: s.Type, reg: r})
+			return lw.define(s.Pos, s.Name, &local{typ: s.Type, reg: r})
 		case TArray:
 			size := s.Type.N * elemSize(s.Type.Elem)
 			lw.f.FrameSize = (lw.f.FrameSize + 7) &^ 7
 			off := lw.f.FrameSize
 			lw.f.FrameSize += (size + 7) &^ 7
-			return lw.define(s.Line, s.Name, &local{typ: s.Type, frOff: off})
+			return lw.define(s.Pos, s.Name, &local{typ: s.Type, frOff: off})
 		}
-		return errf(s.Line, "bad variable type")
+		return errf(s.Pos, "bad variable type")
 
 	case *AssignStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		return lw.assign(s)
 
 	case *IfStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		cond, err := lw.condValue(s.Cond)
 		if err != nil {
 			return err
@@ -289,7 +304,7 @@ func (lw *lowerer) stmt(s Stmt) error {
 		return nil
 
 	case *WhileStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		head := lw.b.NewBlock()
 		body := lw.b.NewBlock()
 		done := lw.b.NewBlock()
@@ -318,7 +333,7 @@ func (lw *lowerer) stmt(s Stmt) error {
 		return nil
 
 	case *ForStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		lw.pushScope() // for-init scope
 		if s.Init != nil {
 			if err := lw.stmt(s.Init); err != nil {
@@ -366,10 +381,10 @@ func (lw *lowerer) stmt(s Stmt) error {
 		return nil
 
 	case *ReturnStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		if s.Val == nil {
 			if lw.fn.Ret.Kind != TVoid {
-				return errf(s.Line, "missing return value in %s", lw.fn.Name)
+				return errf(s.Pos, "missing return value in %s", lw.fn.Name)
 			}
 			lw.emit(ir.Op{Kind: ir.Ret})
 		} else {
@@ -378,7 +393,7 @@ func (lw *lowerer) stmt(s Stmt) error {
 				return err
 			}
 			if !vt.Equal(lw.fn.Ret) {
-				return errf(s.Line, "return %s from function returning %s", vt, lw.fn.Ret)
+				return errf(s.Pos, "return %s from function returning %s", vt, lw.fn.Ret)
 			}
 			lw.emit(ir.Op{Kind: ir.Ret, Args: []ir.Reg{v}})
 		}
@@ -388,25 +403,25 @@ func (lw *lowerer) stmt(s Stmt) error {
 		return nil
 
 	case *BreakStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		if len(lw.breakTo) == 0 {
-			return errf(s.Line, "break outside loop")
+			return errf(s.Pos, "break outside loop")
 		}
 		lw.b.Br(lw.breakTo[len(lw.breakTo)-1])
 		lw.b.SetBlock(lw.b.NewBlock())
 		return nil
 
 	case *ContinueStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		if len(lw.continueTo) == 0 {
-			return errf(s.Line, "continue outside loop")
+			return errf(s.Pos, "continue outside loop")
 		}
 		lw.b.Br(lw.continueTo[len(lw.continueTo)-1])
 		lw.b.SetBlock(lw.b.NewBlock())
 		return nil
 
 	case *ExprStmt:
-		lw.line = s.Line
+		lw.pos = s.Pos
 		if c, ok := s.X.(*Call); ok {
 			_, _, err := lw.call(c, true)
 			return err
@@ -420,7 +435,7 @@ func (lw *lowerer) stmt(s Stmt) error {
 		lw.popScope()
 		return err
 	}
-	return errf(0, "unknown statement %T", s)
+	return errf(Pos{}, "unknown statement %T", s)
 }
 
 func assignable(dst Type, src Type) bool {
@@ -442,14 +457,14 @@ func (lw *lowerer) assign(s *AssignStmt) error {
 	case *Ident:
 		if l := lw.lookup(lhs.Name); l != nil {
 			if l.typ.Kind == TArray {
-				return errf(s.Line, "cannot assign to array %s", lhs.Name)
+				return errf(s.Pos, "cannot assign to array %s", lhs.Name)
 			}
 			v, vt, err := lw.expr(s.RHS)
 			if err != nil {
 				return err
 			}
 			if !assignable(l.typ, vt) {
-				return errf(s.Line, "cannot assign %s to %s %s", vt, lhs.Name, l.typ)
+				return errf(s.Pos, "cannot assign %s to %s %s", vt, lhs.Name, l.typ)
 			}
 			t := irType(l.typ.Kind)
 			if l.typ.Kind == TRef {
@@ -460,20 +475,20 @@ func (lw *lowerer) assign(s *AssignStmt) error {
 		}
 		if g := lw.globals[lhs.Name]; g != nil {
 			if g.Type.Kind == TArray {
-				return errf(s.Line, "cannot assign to array %s", lhs.Name)
+				return errf(s.Pos, "cannot assign to array %s", lhs.Name)
 			}
 			v, vt, err := lw.expr(s.RHS)
 			if err != nil {
 				return err
 			}
 			if vt.Kind != g.Type.Kind {
-				return errf(s.Line, "cannot assign %s to %s %s", vt, lhs.Name, g.Type)
+				return errf(s.Pos, "cannot assign %s to %s %s", vt, lhs.Name, g.Type)
 			}
 			addr := lw.b.GAddr(g.Name)
 			lw.emit(ir.Op{Kind: ir.Store, Type: irType(g.Type.Kind), Args: []ir.Reg{addr, v}})
 			return nil
 		}
-		return errf(s.Line, "undefined: %s", lhs.Name)
+		return errf(s.Pos, "undefined: %s", lhs.Name)
 
 	case *Index:
 		addr, off, elem, err := lw.elemAddr(lhs)
@@ -485,12 +500,12 @@ func (lw *lowerer) assign(s *AssignStmt) error {
 			return err
 		}
 		if (elem == TInt && vt.Kind != TInt) || (elem == TFloat && vt.Kind != TFloat) {
-			return errf(s.Line, "cannot store %s into %s element", vt, Type{Kind: elem})
+			return errf(s.Pos, "cannot store %s into %s element", vt, Type{Kind: elem})
 		}
 		lw.emit(ir.Op{Kind: ir.Store, Type: irType(elem), Args: []ir.Reg{addr, v}, ImmI: off})
 		return nil
 	}
-	return errf(s.Line, "bad assignment target")
+	return errf(s.Pos, "bad assignment target")
 }
 
 // arrayBase lowers an expression of array/reference type to a base address
@@ -498,7 +513,7 @@ func (lw *lowerer) assign(s *AssignStmt) error {
 func (lw *lowerer) arrayBase(e Expr) (ir.Reg, TypeKind, error) {
 	id, ok := e.(*Ident)
 	if !ok {
-		return ir.None, TInvalid, errf(lineOf(e), "expression is not an array")
+		return ir.None, TInvalid, errf(e.At(), "expression is not an array")
 	}
 	if l := lw.lookup(id.Name); l != nil {
 		switch l.typ.Kind {
@@ -507,15 +522,15 @@ func (lw *lowerer) arrayBase(e Expr) (ir.Reg, TypeKind, error) {
 		case TRef:
 			return l.reg, l.typ.Elem, nil
 		}
-		return ir.None, TInvalid, errf(id.Line, "%s is not an array", id.Name)
+		return ir.None, TInvalid, errf(id.Pos, "%s is not an array", id.Name)
 	}
 	if g := lw.globals[id.Name]; g != nil {
 		if g.Type.Kind != TArray {
-			return ir.None, TInvalid, errf(id.Line, "%s is not an array", id.Name)
+			return ir.None, TInvalid, errf(id.Pos, "%s is not an array", id.Name)
 		}
 		return lw.b.GAddr(g.Name), g.Type.Elem, nil
 	}
-	return ir.None, TInvalid, errf(id.Line, "undefined: %s", id.Name)
+	return ir.None, TInvalid, errf(id.Pos, "undefined: %s", id.Name)
 }
 
 // elemAddr lowers a[i] to (addrReg, constOffset, elemKind).
@@ -533,7 +548,7 @@ func (lw *lowerer) elemAddr(x *Index) (ir.Reg, int64, TypeKind, error) {
 		return ir.None, 0, TInvalid, err
 	}
 	if it.Kind != TInt {
-		return ir.None, 0, TInvalid, errf(x.Line, "array index must be int, not %s", it)
+		return ir.None, 0, TInvalid, errf(x.Pos, "array index must be int, not %s", it)
 	}
 	var scaled ir.Reg
 	if size == 4 {
@@ -554,33 +569,9 @@ func (lw *lowerer) condValue(e Expr) (ir.Reg, error) {
 		return ir.None, err
 	}
 	if t.Kind != TInt {
-		return ir.None, errf(lineOf(e), "condition must be int, not %s", t)
+		return ir.None, errf(e.At(), "condition must be int, not %s", t)
 	}
 	return v, nil
-}
-
-func lineOf(e Expr) int {
-	switch e := e.(type) {
-	case *IntLit:
-		return e.Line
-	case *FloatLit:
-		return e.Line
-	case *Ident:
-		return e.Line
-	case *Index:
-		return e.Line
-	case *Unary:
-		return e.Line
-	case *Binary:
-		return e.Line
-	case *Cond:
-		return e.Line
-	case *Call:
-		return e.Line
-	case *Cast:
-		return e.Line
-	}
-	return 0
 }
 
 var intOnlyOps = map[Kind]bool{
@@ -607,14 +598,14 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 	tFloat := Type{Kind: TFloat}
 	switch e := e.(type) {
 	case *IntLit:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		return lw.b.ConstI(e.Val), tInt, nil
 	case *FloatLit:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		return lw.b.ConstF(e.Val), tFloat, nil
 
 	case *Ident:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		if l := lw.lookup(e.Name); l != nil {
 			switch l.typ.Kind {
 			case TInt, TFloat, TRef:
@@ -637,10 +628,10 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 				return lw.b.GAddr(g.Name), Type{Kind: TRef, Elem: g.Type.Elem}, nil
 			}
 		}
-		return ir.None, Type{}, errf(e.Line, "undefined: %s", e.Name)
+		return ir.None, Type{}, errf(e.Pos, "undefined: %s", e.Name)
 
 	case *Index:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		addr, off, elem, err := lw.elemAddr(e)
 		if err != nil {
 			return ir.None, Type{}, err
@@ -654,7 +645,7 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 		return r, t, nil
 
 	case *Unary:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		v, t, err := lw.expr(e.X)
 		if err != nil {
 			return ir.None, Type{}, err
@@ -677,10 +668,10 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 				return lw.b.Un(ir.Not, ir.I32, v), t, nil
 			}
 		}
-		return ir.None, Type{}, errf(e.Line, "invalid operand type %s for unary %s", t, e.Op)
+		return ir.None, Type{}, errf(e.Pos, "invalid operand type %s for unary %s", t, e.Op)
 
 	case *Binary:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		if e.Op == ANDAND || e.Op == OROR {
 			return lw.shortCircuit(e)
 		}
@@ -693,10 +684,10 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 			return ir.None, Type{}, err
 		}
 		if !xt.Scalar() || !xt.Equal(yt) {
-			return ir.None, Type{}, errf(e.Line, "invalid operands %s and %s for %s (use int()/float() casts)", xt, yt, e.Op)
+			return ir.None, Type{}, errf(e.Pos, "invalid operands %s and %s for %s (use int()/float() casts)", xt, yt, e.Op)
 		}
 		if xt.Kind == TFloat && intOnlyOps[e.Op] {
-			return ir.None, Type{}, errf(e.Line, "operator %s requires int operands", e.Op)
+			return ir.None, Type{}, errf(e.Pos, "operator %s requires int operands", e.Op)
 		}
 		if ops, ok := cmpOps[e.Op]; ok {
 			k := ops[0]
@@ -716,10 +707,10 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 			}
 			return lw.b.Bin(k, irType(xt.Kind), x, y), xt, nil
 		}
-		return ir.None, Type{}, errf(e.Line, "bad operator %s", e.Op)
+		return ir.None, Type{}, errf(e.Pos, "bad operator %s", e.Op)
 
 	case *Cond:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		c, err := lw.condValue(e.C)
 		if err != nil {
 			return ir.None, Type{}, err
@@ -733,18 +724,18 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 			return ir.None, Type{}, err
 		}
 		if !at.Scalar() || !at.Equal(bt) {
-			return ir.None, Type{}, errf(e.Line, "mismatched ?: arms: %s and %s", at, bt)
+			return ir.None, Type{}, errf(e.Pos, "mismatched ?: arms: %s and %s", at, bt)
 		}
 		r := lw.f.NewReg(irType(at.Kind))
 		lw.emit(ir.Op{Kind: ir.Select, Type: irType(at.Kind), Dst: r, Args: []ir.Reg{c, a, b}})
 		return r, at, nil
 
 	case *Call:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		return lw.call(e, false)
 
 	case *Cast:
-		lw.line = e.Line
+		lw.pos = e.Pos
 		v, t, err := lw.expr(e.X)
 		if err != nil {
 			return ir.None, Type{}, err
@@ -764,9 +755,9 @@ func (lw *lowerer) expr(e Expr) (ir.Reg, Type, error) {
 				return lw.b.Un(ir.ItoF, ir.F64, v), tFloat, nil
 			}
 		}
-		return ir.None, Type{}, errf(e.Line, "cannot cast %s", t)
+		return ir.None, Type{}, errf(e.Pos, "cannot cast %s", t)
 	}
-	return ir.None, Type{}, errf(0, "unknown expression %T", e)
+	return ir.None, Type{}, errf(Pos{}, "unknown expression %T", e)
 }
 
 // shortCircuit lowers && and || with control flow, producing a 0/1 result.
@@ -777,7 +768,7 @@ func (lw *lowerer) shortCircuit(e *Binary) (ir.Reg, Type, error) {
 		return ir.None, Type{}, err
 	}
 	if xt.Kind != TInt {
-		return ir.None, Type{}, errf(e.Line, "operator %s requires int operands", e.Op)
+		return ir.None, Type{}, errf(e.Pos, "operator %s requires int operands", e.Op)
 	}
 	evalY := lw.b.NewBlock()
 	short := lw.b.NewBlock()
@@ -793,7 +784,7 @@ func (lw *lowerer) shortCircuit(e *Binary) (ir.Reg, Type, error) {
 		return ir.None, Type{}, err
 	}
 	if yt.Kind != TInt {
-		return ir.None, Type{}, errf(e.Line, "operator %s requires int operands", e.Op)
+		return ir.None, Type{}, errf(e.Pos, "operator %s requires int operands", e.Op)
 	}
 	z := lw.b.ConstI(0)
 	norm := lw.b.Bin(ir.CmpNE, ir.I32, y, z)
@@ -814,7 +805,7 @@ func (lw *lowerer) shortCircuit(e *Binary) (ir.Reg, Type, error) {
 func (lw *lowerer) call(e *Call, stmtCtx bool) (ir.Reg, Type, error) {
 	if b, ok := ir.Builtins[e.Name]; ok {
 		if len(e.Args) != len(b.Params) {
-			return ir.None, Type{}, errf(e.Line, "%s takes %d argument(s)", e.Name, len(b.Params))
+			return ir.None, Type{}, errf(e.Pos, "%s takes %d argument(s)", e.Name, len(b.Params))
 		}
 		var args []ir.Reg
 		for i, a := range e.Args {
@@ -827,7 +818,7 @@ func (lw *lowerer) call(e *Call, stmtCtx bool) (ir.Reg, Type, error) {
 				want = TFloat
 			}
 			if vt.Kind != want {
-				return ir.None, Type{}, errf(e.Line, "%s argument %d: have %s, want %s", e.Name, i+1, vt, Type{Kind: want})
+				return ir.None, Type{}, errf(e.Pos, "%s argument %d: have %s, want %s", e.Name, i+1, vt, Type{Kind: want})
 			}
 			args = append(args, v)
 		}
@@ -836,10 +827,10 @@ func (lw *lowerer) call(e *Call, stmtCtx bool) (ir.Reg, Type, error) {
 	}
 	fn := lw.funcs[e.Name]
 	if fn == nil {
-		return ir.None, Type{}, errf(e.Line, "undefined function %s", e.Name)
+		return ir.None, Type{}, errf(e.Pos, "undefined function %s", e.Name)
 	}
 	if len(e.Args) != len(fn.Params) {
-		return ir.None, Type{}, errf(e.Line, "%s takes %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
+		return ir.None, Type{}, errf(e.Pos, "%s takes %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
 	}
 	var args []ir.Reg
 	for i, a := range e.Args {
@@ -848,7 +839,7 @@ func (lw *lowerer) call(e *Call, stmtCtx bool) (ir.Reg, Type, error) {
 			return ir.None, Type{}, err
 		}
 		if !assignable(fn.Params[i].Type, vt) {
-			return ir.None, Type{}, errf(e.Line, "%s argument %d: have %s, want %s", e.Name, i+1, vt, fn.Params[i].Type)
+			return ir.None, Type{}, errf(e.Pos, "%s argument %d: have %s, want %s", e.Name, i+1, vt, fn.Params[i].Type)
 		}
 		args = append(args, v)
 	}
@@ -858,7 +849,7 @@ func (lw *lowerer) call(e *Call, stmtCtx bool) (ir.Reg, Type, error) {
 	case TVoid:
 		rt = Type{Kind: TVoid}
 		if !stmtCtx {
-			return ir.None, Type{}, errf(e.Line, "%s returns no value", e.Name)
+			return ir.None, Type{}, errf(e.Pos, "%s returns no value", e.Name)
 		}
 	case TInt:
 		rt = Type{Kind: TInt}

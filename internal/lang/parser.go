@@ -13,9 +13,26 @@ func Parse(src string) (*File, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int // current statement/expression nesting depth
 }
+
+// maxNesting bounds recursive-descent depth so hostile input (deep
+// parenthesis or brace nesting, long unary chains) produces a positioned
+// diagnostic instead of overflowing the host stack.
+const maxNesting = 200
+
+// enter guards one level of recursive descent; every enter pairs with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNesting {
+		return errf(p.cur().Pos, "nesting too deep (max %d levels)", maxNesting)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() Token  { return p.toks[p.pos] }
 func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
@@ -39,7 +56,7 @@ func (p *parser) accept(k Kind) bool {
 func (p *parser) expect(k Kind) (Token, error) {
 	t := p.cur()
 	if t.Kind != k {
-		return t, errf(t.Line, "expected %s, found %s", k, describe(t))
+		return t, errf(t.Pos, "expected %s, found %s", k, describe(t))
 	}
 	p.next()
 	return t, nil
@@ -72,7 +89,7 @@ func (p *parser) file() (*File, error) {
 			}
 			f.Funcs = append(f.Funcs, fn)
 		default:
-			return nil, errf(p.cur().Line, "expected var or func at top level, found %s", describe(p.cur()))
+			return nil, errf(p.cur().Pos, "expected var or func at top level, found %s", describe(p.cur()))
 		}
 	}
 	return f, nil
@@ -99,7 +116,7 @@ func (p *parser) typ() (Type, error) {
 			return Type{}, err
 		}
 		if n.Int <= 0 {
-			return Type{}, errf(n.Line, "array length must be positive")
+			return Type{}, errf(n.Pos, "array length must be positive")
 		}
 		if _, err := p.expect(RBRACK); err != nil {
 			return Type{}, err
@@ -107,7 +124,7 @@ func (p *parser) typ() (Type, error) {
 		elem, err := p.elemType()
 		return Type{Kind: TArray, Elem: elem, N: n.Int}, err
 	}
-	return Type{}, errf(t.Line, "expected type, found %s", describe(t))
+	return Type{}, errf(t.Pos, "expected type, found %s", describe(t))
 }
 
 func (p *parser) elemType() (TypeKind, error) {
@@ -119,7 +136,7 @@ func (p *parser) elemType() (TypeKind, error) {
 		p.next()
 		return TFloat, nil
 	}
-	return TInvalid, errf(p.cur().Line, "expected int or float element type, found %s", describe(p.cur()))
+	return TInvalid, errf(p.cur().Pos, "expected int or float element type, found %s", describe(p.cur()))
 }
 
 func (p *parser) globalDecl() (*GlobalDecl, error) {
@@ -133,9 +150,9 @@ func (p *parser) globalDecl() (*GlobalDecl, error) {
 		return nil, err
 	}
 	if t.Kind == TRef {
-		return nil, errf(start.Line, "globals cannot have reference type")
+		return nil, errf(start.Pos, "globals cannot have reference type")
 	}
-	g := &GlobalDecl{Name: name.Text, Type: t, Line: start.Line}
+	g := &GlobalDecl{Name: name.Text, Type: t, Pos: start.Pos}
 	if p.accept(ASSIGN) {
 		g.HasInit = true
 		if t.Kind == TArray {
@@ -157,7 +174,7 @@ func (p *parser) globalDecl() (*GlobalDecl, error) {
 					}
 				case FLOATLIT:
 					if t.Elem != TFloat {
-						return nil, errf(p.cur().Line, "float literal in int array initializer")
+						return nil, errf(p.cur().Pos, "float literal in int array initializer")
 					}
 					v := p.next().Flt
 					if neg {
@@ -165,14 +182,14 @@ func (p *parser) globalDecl() (*GlobalDecl, error) {
 					}
 					g.InitListF = append(g.InitListF, v)
 				default:
-					return nil, errf(p.cur().Line, "expected literal in initializer, found %s", describe(p.cur()))
+					return nil, errf(p.cur().Pos, "expected literal in initializer, found %s", describe(p.cur()))
 				}
 				if !p.accept(COMMA) && p.cur().Kind != RBRACE {
-					return nil, errf(p.cur().Line, "expected , or } in initializer")
+					return nil, errf(p.cur().Pos, "expected , or } in initializer")
 				}
 			}
 			if int64(len(g.InitListI)) > t.N || int64(len(g.InitListF)) > t.N {
-				return nil, errf(start.Line, "too many initializers for %s[%d]", name.Text, t.N)
+				return nil, errf(start.Pos, "too many initializers for %s[%d]", name.Text, t.N)
 			}
 		} else {
 			neg := p.accept(MINUS)
@@ -189,7 +206,7 @@ func (p *parser) globalDecl() (*GlobalDecl, error) {
 				}
 			case FLOATLIT:
 				if t.Kind != TFloat {
-					return nil, errf(p.cur().Line, "float initializer for int global")
+					return nil, errf(p.cur().Pos, "float initializer for int global")
 				}
 				v := p.next().Flt
 				if neg {
@@ -197,7 +214,7 @@ func (p *parser) globalDecl() (*GlobalDecl, error) {
 				}
 				g.InitF = v
 			default:
-				return nil, errf(p.cur().Line, "expected literal initializer, found %s", describe(p.cur()))
+				return nil, errf(p.cur().Pos, "expected literal initializer, found %s", describe(p.cur()))
 			}
 		}
 	}
@@ -214,7 +231,7 @@ func (p *parser) funcDecl() (*FuncDecl, error) {
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
-	fn := &FuncDecl{Name: name.Text, Ret: Type{Kind: TVoid}, Line: start.Line}
+	fn := &FuncDecl{Name: name.Text, Ret: Type{Kind: TVoid}, Pos: start.Pos}
 	for p.cur().Kind != RPAREN {
 		pn, err := p.expect(IDENT)
 		if err != nil {
@@ -225,11 +242,11 @@ func (p *parser) funcDecl() (*FuncDecl, error) {
 			return nil, err
 		}
 		if pt.Kind == TArray {
-			return nil, errf(pn.Line, "array parameters must be references: []%v", pt.Elem)
+			return nil, errf(pn.Pos, "array parameters must be references: []%v", pt.Elem)
 		}
-		fn.Params = append(fn.Params, Param{Name: pn.Text, Type: pt, Line: pn.Line})
+		fn.Params = append(fn.Params, Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
 		if !p.accept(COMMA) && p.cur().Kind != RPAREN {
-			return nil, errf(p.cur().Line, "expected , or ) in parameter list")
+			return nil, errf(p.cur().Pos, "expected , or ) in parameter list")
 		}
 	}
 	p.next() // RPAREN
@@ -253,10 +270,10 @@ func (p *parser) block() (*BlockStmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &BlockStmt{stmtBase: stmtBase{Line: lb.Line}}
+	b := &BlockStmt{stmtBase: stmtBase{Pos: lb.Pos}}
 	for !p.accept(RBRACE) {
 		if p.cur().Kind == EOF {
-			return nil, errf(lb.Line, "unterminated block")
+			return nil, errf(lb.Pos, "unterminated block")
 		}
 		s, err := p.stmt()
 		if err != nil {
@@ -268,6 +285,10 @@ func (p *parser) block() (*BlockStmt, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch t.Kind {
 	case KVAR:
@@ -295,12 +316,12 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{stmtBase: stmtBase{Line: t.Line}, Cond: cond, Body: body}, nil
+		return &WhileStmt{stmtBase: stmtBase{Pos: t.Pos}, Cond: cond, Body: body}, nil
 	case KFOR:
 		return p.forStmt()
 	case KRETURN:
 		p.next()
-		s := &ReturnStmt{stmtBase: stmtBase{Line: t.Line}}
+		s := &ReturnStmt{stmtBase: stmtBase{Pos: t.Pos}}
 		if p.cur().Kind != SEMI && p.cur().Kind != RBRACE {
 			v, err := p.expr()
 			if err != nil {
@@ -313,11 +334,11 @@ func (p *parser) stmt() (Stmt, error) {
 	case KBREAK:
 		p.next()
 		p.accept(SEMI)
-		return &BreakStmt{stmtBase{Line: t.Line}}, nil
+		return &BreakStmt{stmtBase{Pos: t.Pos}}, nil
 	case KCONTINUE:
 		p.next()
 		p.accept(SEMI)
-		return &ContinueStmt{stmtBase{Line: t.Line}}, nil
+		return &ContinueStmt{stmtBase{Pos: t.Pos}}, nil
 	case LBRACE:
 		return p.block()
 	default:
@@ -340,10 +361,10 @@ func (p *parser) varStmt() (*VarStmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &VarStmt{stmtBase: stmtBase{Line: start.Line}, Name: name.Text, Type: t}
+	s := &VarStmt{stmtBase: stmtBase{Pos: start.Pos}, Name: name.Text, Type: t}
 	if p.accept(ASSIGN) {
 		if t.Kind == TArray {
-			return nil, errf(start.Line, "local arrays cannot have initializers")
+			return nil, errf(start.Pos, "local arrays cannot have initializers")
 		}
 		e, err := p.expr()
 		if err != nil {
@@ -356,7 +377,7 @@ func (p *parser) varStmt() (*VarStmt, error) {
 
 // simpleStmt parses an assignment or expression statement.
 func (p *parser) simpleStmt() (Stmt, error) {
-	line := p.cur().Line
+	pos := p.cur().Pos
 	e, err := p.expr()
 	if err != nil {
 		return nil, err
@@ -365,15 +386,15 @@ func (p *parser) simpleStmt() (Stmt, error) {
 		switch e.(type) {
 		case *Ident, *Index:
 		default:
-			return nil, errf(line, "left side of = must be a variable or array element")
+			return nil, errf(pos, "left side of = must be a variable or array element")
 		}
 		rhs, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
-		return &AssignStmt{stmtBase: stmtBase{Line: line}, LHS: e, RHS: rhs}, nil
+		return &AssignStmt{stmtBase: stmtBase{Pos: pos}, LHS: e, RHS: rhs}, nil
 	}
-	return &ExprStmt{stmtBase: stmtBase{Line: line}, X: e}, nil
+	return &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: e}, nil
 }
 
 func (p *parser) ifStmt() (Stmt, error) {
@@ -392,7 +413,7 @@ func (p *parser) ifStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &IfStmt{stmtBase: stmtBase{Line: start.Line}, Cond: cond, Then: then}
+	s := &IfStmt{stmtBase: stmtBase{Pos: start.Pos}, Cond: cond, Then: then}
 	if p.accept(KELSE) {
 		if p.cur().Kind == KIF {
 			els, err := p.ifStmt()
@@ -416,7 +437,7 @@ func (p *parser) forStmt() (Stmt, error) {
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
-	s := &ForStmt{stmtBase: stmtBase{Line: start.Line}}
+	s := &ForStmt{stmtBase: stmtBase{Pos: start.Pos}}
 	if !p.accept(SEMI) {
 		var init Stmt
 		var err error
@@ -476,6 +497,10 @@ var binPrec = map[Kind]int{
 func (p *parser) expr() (Expr, error) { return p.ternary() }
 
 func (p *parser) ternary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	c, err := p.binary(1)
 	if err != nil {
 		return nil, err
@@ -483,7 +508,7 @@ func (p *parser) ternary() (Expr, error) {
 	if !p.accept(QUESTION) {
 		return c, nil
 	}
-	line := p.cur().Line
+	pos := p.cur().Pos
 	a, err := p.ternary()
 	if err != nil {
 		return nil, err
@@ -495,7 +520,7 @@ func (p *parser) ternary() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cond{exprBase: exprBase{Line: line}, C: c, A: a, B: b}, nil
+	return &Cond{exprBase: exprBase{Pos: pos}, C: c, A: a, B: b}, nil
 }
 
 func (p *parser) binary(minPrec int) (Expr, error) {
@@ -509,17 +534,21 @@ func (p *parser) binary(minPrec int) (Expr, error) {
 		if !ok || prec < minPrec {
 			return lhs, nil
 		}
-		line := p.cur().Line
+		pos := p.cur().Pos
 		p.next()
 		rhs, err := p.binary(prec + 1)
 		if err != nil {
 			return nil, err
 		}
-		lhs = &Binary{exprBase: exprBase{Line: line}, Op: op, X: lhs, Y: rhs}
+		lhs = &Binary{exprBase: exprBase{Pos: pos}, Op: op, X: lhs, Y: rhs}
 	}
 }
 
 func (p *parser) unary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch t.Kind {
 	case MINUS, BANG, TILDE:
@@ -528,7 +557,7 @@ func (p *parser) unary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Unary{exprBase: exprBase{Line: t.Line}, Op: t.Kind, X: x}, nil
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: t.Kind, X: x}, nil
 	}
 	return p.postfix()
 }
@@ -541,7 +570,7 @@ func (p *parser) postfix() (Expr, error) {
 	for {
 		switch p.cur().Kind {
 		case LBRACK:
-			line := p.next().Line
+			pos := p.next().Pos
 			idx, err := p.expr()
 			if err != nil {
 				return nil, err
@@ -549,7 +578,7 @@ func (p *parser) postfix() (Expr, error) {
 			if _, err := p.expect(RBRACK); err != nil {
 				return nil, err
 			}
-			e = &Index{exprBase: exprBase{Line: line}, Arr: e, Index: idx}
+			e = &Index{exprBase: exprBase{Pos: pos}, Arr: e, Index: idx}
 		default:
 			return e, nil
 		}
@@ -561,10 +590,10 @@ func (p *parser) primary() (Expr, error) {
 	switch t.Kind {
 	case INTLIT:
 		p.next()
-		return &IntLit{exprBase: exprBase{Line: t.Line}, Val: t.Int}, nil
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}, Val: t.Int}, nil
 	case FLOATLIT:
 		p.next()
-		return &FloatLit{exprBase: exprBase{Line: t.Line}, Val: t.Flt}, nil
+		return &FloatLit{exprBase: exprBase{Pos: t.Pos}, Val: t.Flt}, nil
 	case KINT, KFLOAT:
 		p.next()
 		if _, err := p.expect(LPAREN); err != nil {
@@ -577,12 +606,12 @@ func (p *parser) primary() (Expr, error) {
 		if _, err := p.expect(RPAREN); err != nil {
 			return nil, err
 		}
-		return &Cast{exprBase: exprBase{Line: t.Line}, To: t.Kind, X: x}, nil
+		return &Cast{exprBase: exprBase{Pos: t.Pos}, To: t.Kind, X: x}, nil
 	case IDENT:
 		p.next()
 		if p.cur().Kind == LPAREN {
 			p.next()
-			c := &Call{exprBase: exprBase{Line: t.Line}, Name: t.Text}
+			c := &Call{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
 			for p.cur().Kind != RPAREN {
 				a, err := p.expr()
 				if err != nil {
@@ -590,13 +619,13 @@ func (p *parser) primary() (Expr, error) {
 				}
 				c.Args = append(c.Args, a)
 				if !p.accept(COMMA) && p.cur().Kind != RPAREN {
-					return nil, errf(p.cur().Line, "expected , or ) in call")
+					return nil, errf(p.cur().Pos, "expected , or ) in call")
 				}
 			}
 			p.next()
 			return c, nil
 		}
-		return &Ident{exprBase: exprBase{Line: t.Line}, Name: t.Text}, nil
+		return &Ident{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}, nil
 	case LPAREN:
 		p.next()
 		e, err := p.expr()
@@ -608,7 +637,7 @@ func (p *parser) primary() (Expr, error) {
 		}
 		return e, nil
 	}
-	return nil, errf(t.Line, "expected expression, found %s", describe(t))
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
 }
 
 func min(a, b int) int {

@@ -1,0 +1,113 @@
+package lang
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// diagRE is the contract for every frontend diagnostic: file:line:col: msg
+// with 1-based line and column.
+var diagRE = regexp.MustCompile(`^[^:\n]+:[1-9][0-9]*:[1-9][0-9]*: .+`)
+
+// hostile inputs spanning the lexer, parser, and type checker — every one
+// must fail with a uniformly positioned diagnostic.
+var badInputs = []string{
+	"func main() int { return @ }",                                        // lexer: bad character
+	"func main() int { return 99999999999 }",                              // lexer: i32 overflow
+	"func main() int { return 1.5e }",                                     // lexer: bad float
+	"var x\nfunc main() int { return 0 }",                                 // parser: missing type
+	"func main() int { return (1 + }",                                     // parser: bad expression
+	"func main() int { if (1) { return 0 }",                               // parser: unterminated block
+	"func main() int { return 1 ? 2 }",                                    // parser: missing colon
+	"func f(a [4]int) int { return 0 }",                                   // parser: array param
+	"3 + 4",                                                               // parser: junk at top level
+	"func main() int { return x }",                                        // checker: undefined
+	"func main() int { return 1.5 }",                                      // checker: return type
+	"func main() int { return 1 + 1.5 }",                                  // checker: mixed operands
+	"func main() int { var a [4]int; a = 3 return 0 }",                    // checker: assign to array
+	"func main() int { break }",                                           // checker: break outside loop
+	"func main() int { var x int; var x int; return 0 }",                  // checker: redeclared
+	"func f() int { return 0 }\nfunc f() int { return 0 }",                // checker: duplicate func
+	"func main() int { return g(1) }",                                     // checker: undefined func
+	"func main() int { return 1.5 % 2.5 }",                                // checker: int-only op
+	strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + " func", // parser: nesting bomb
+	"func main() int { return " + strings.Repeat("-", 5000) + "1 }",       // parser: unary bomb
+	"func main() int " + strings.Repeat("{", 5000),                        // parser: block bomb
+}
+
+// TestEveryDiagnosticIsPositioned is the satellite acceptance test: every
+// diagnostic the frontend can produce renders as file:line:col: message.
+func TestEveryDiagnosticIsPositioned(t *testing.T) {
+	for _, src := range badInputs {
+		display := src
+		if len(display) > 60 {
+			display = display[:60] + "..."
+		}
+		_, err := Compile(src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", display)
+			continue
+		}
+		if !diagRE.MatchString(err.Error()) {
+			t.Errorf("diagnostic for %q not positioned as file:line:col: %q", display, err)
+		}
+		var le *Error
+		if !errors.As(err, &le) {
+			t.Errorf("diagnostic for %q is not a *lang.Error: %T", display, err)
+		}
+	}
+}
+
+// TestDiagnosticPositionsAreExact pins line and column values, not just the
+// format.
+func TestDiagnosticPositionsAreExact(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() int {\n\treturn bogus\n}", "input:2:9: undefined: bogus"},
+		{"func main() int { return @ }", `input:1:26: unexpected character "@"`},
+		{"var g float = 1.0\nvar g float = 2.0", "input:2:1: duplicate global g"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded", c.src)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("Compile(%q)\n  got  %q\n  want %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestCompileFileNamesDiagnostics checks the file name threads into errors.
+func TestCompileFileNamesDiagnostics(t *testing.T) {
+	_, err := CompileFile("prog.mf", "func main() int { return bogus }")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.HasPrefix(err.Error(), "prog.mf:1:") {
+		t.Errorf("diagnostic lacks file name: %q", err)
+	}
+	if _, err := CompileFile("prog.mf", "func main() int { return 0 }"); err != nil {
+		t.Errorf("valid program failed: %v", err)
+	}
+}
+
+// TestNestingBombsDontCrash: deep nesting must produce an error, never a
+// stack overflow — there is no recover for Go stack exhaustion.
+func TestNestingBombsDontCrash(t *testing.T) {
+	bombs := []string{
+		strings.Repeat("(", 100_000),
+		"func main() int { return " + strings.Repeat("!", 100_000) + "1 }",
+		"func main() int " + strings.Repeat("{ if (1) ", 50_000),
+	}
+	for _, src := range bombs {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("nesting bomb compiled successfully")
+		}
+	}
+}

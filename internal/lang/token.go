@@ -107,35 +107,56 @@ var keywords = map[string]Kind{
 	"int": KINT, "float": KFLOAT,
 }
 
+// Pos is a source position: 1-based line and column (column in bytes).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
 // Token is a lexical token with its source position.
 type Token struct {
 	Kind Kind
 	Text string
 	Int  int64
 	Flt  float64
-	Line int
+	Pos
 }
 
-// Error is a positioned compile error.
+// Error is a positioned compile error. Every diagnostic the frontend emits
+// renders uniformly as "file:line:col: message"; File defaults to "input"
+// for sources compiled from a string (see CompileFile).
 type Error struct {
-	Line int
+	File string
+	Pos  Pos
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	file := e.File
+	if file == "" {
+		file = "input"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", file, e.Pos.Line, e.Pos.Col, e.Msg)
+}
 
-func errf(line int, format string, args ...any) *Error {
-	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Lex tokenizes src. Comments run from // to end of line.
 func Lex(src string) ([]Token, error) {
 	var toks []Token
 	line := 1
+	lineStart := 0 // index of the first byte of the current line
 	i := 0
 	n := len(src)
+	// pos reports the position of the byte at index i; every token is
+	// emitted while i still points at its first byte.
+	pos := func() Pos { return Pos{Line: line, Col: i - lineStart + 1} }
 	emit := func(k Kind, text string) {
-		toks = append(toks, Token{Kind: k, Text: text, Line: line})
+		toks = append(toks, Token{Kind: k, Text: text, Pos: pos()})
 	}
 	for i < n {
 		c := src[i]
@@ -143,6 +164,7 @@ func Lex(src string) ([]Token, error) {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < n && src[i+1] == '/':
@@ -175,18 +197,18 @@ func Lex(src string) ([]Token, error) {
 			if isFloat {
 				v, err := strconv.ParseFloat(text, 64)
 				if err != nil {
-					return nil, errf(line, "bad float literal %q", text)
+					return nil, errf(pos(), "bad float literal %q", text)
 				}
-				toks = append(toks, Token{Kind: FLOATLIT, Text: text, Flt: v, Line: line})
+				toks = append(toks, Token{Kind: FLOATLIT, Text: text, Flt: v, Pos: pos()})
 			} else {
 				v, err := strconv.ParseInt(text, 10, 64)
 				if err != nil {
-					return nil, errf(line, "bad int literal %q", text)
+					return nil, errf(pos(), "bad int literal %q", text)
 				}
 				if v > 1<<31-1 {
-					return nil, errf(line, "int literal %q overflows i32", text)
+					return nil, errf(pos(), "int literal %q overflows i32", text)
 				}
-				toks = append(toks, Token{Kind: INTLIT, Text: text, Int: v, Line: line})
+				toks = append(toks, Token{Kind: INTLIT, Text: text, Int: v, Pos: pos()})
 			}
 			i = j
 		default:
@@ -277,12 +299,12 @@ func Lex(src string) ([]Token, error) {
 			case ':':
 				k = COLON
 			default:
-				return nil, errf(line, "unexpected character %q", string(c))
+				return nil, errf(pos(), "unexpected character %q", string(c))
 			}
 			emit(k, string(c))
 			i++
 		}
 	}
-	toks = append(toks, Token{Kind: EOF, Line: line})
+	toks = append(toks, Token{Kind: EOF, Pos: pos()})
 	return toks, nil
 }

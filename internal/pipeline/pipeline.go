@@ -15,6 +15,7 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"github.com/multiflow-repro/trace/internal/ir"
@@ -97,6 +98,31 @@ func (r *Report) record(name string, d time.Duration, before, after int) {
 	r.Total += d
 }
 
+// PanicError is a compiler crash converted into a diagnosable error: the
+// driver recovers panics at every pass and stage boundary so a bug in one
+// phase fails the compilation with attribution instead of killing the
+// process with a Go stack trace. The trace is retained for bug reports but
+// kept out of Error() so user-facing diagnostics stay one line.
+type PanicError struct {
+	Pass  string // pass or stage name that crashed
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() at the point of recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal compiler error in pass %s: %v", e.Pass, e.Value)
+}
+
+// guard runs fn, converting a panic into a *PanicError attributed to name.
+func guard(name string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Pass: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // funcPass adapts a name + function to the Pass interface.
 type funcPass struct {
 	name string
@@ -131,9 +157,12 @@ func Run(p *ir.Program, ctx *Context, passes ...Pass) error {
 	for _, ps := range passes {
 		before := CountOps(p)
 		start := time.Now()
-		err := ps.Run(p, ctx)
+		err := guard(ps.Name(), func() error { return ps.Run(p, ctx) })
 		ctx.Report.record(ps.Name(), time.Since(start), before, CountOps(p))
 		if err != nil {
+			if _, crashed := err.(*PanicError); crashed {
+				return err // already pass-attributed
+			}
 			return fmt.Errorf("pass %s: %w", ps.Name(), err)
 		}
 		if ctx.DumpIR != nil {
@@ -154,7 +183,7 @@ func Run(p *ir.Program, ctx *Context, passes ...Pass) error {
 func (ctx *Context) Stage(name string, p *ir.Program, fn func() error) error {
 	ops := CountOps(p)
 	start := time.Now()
-	err := fn()
+	err := guard(name, fn)
 	ctx.Report.record(name, time.Since(start), ops, ops)
 	return err
 }

@@ -148,3 +148,53 @@ func TestStageRecordsIntoReport(t *testing.T) {
 		t.Fatalf("stage not recorded: %+v", ctx.Report.Passes)
 	}
 }
+
+// TestPanicInPassRecovered: a crashing pass must fail the pipeline with a
+// pass-attributed *PanicError, not kill the process.
+func TestPanicInPassRecovered(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	boom := pipeline.New("boom", func(p *ir.Program, ctx *pipeline.Context) error {
+		var f *ir.Func
+		_ = f.Name // nil deref
+		return nil
+	})
+	after := pipeline.New("after", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
+
+	ctx := pipeline.NewContext()
+	err := pipeline.Run(p, ctx, boom, after)
+	if err == nil {
+		t.Fatal("panicking pass did not fail the pipeline")
+	}
+	pe, ok := err.(*pipeline.PanicError)
+	if !ok {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Pass != "boom" {
+		t.Errorf("PanicError.Pass = %q, want boom", pe.Pass)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack trace")
+	}
+	if !strings.Contains(err.Error(), "internal compiler error") ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("diagnostic not attributed: %v", err)
+	}
+	// The pipeline stopped at the crashing pass and still recorded it.
+	if n := len(ctx.Report.Passes); n != 1 {
+		t.Errorf("%d passes recorded, want 1 (stop at boom)", n)
+	}
+}
+
+// TestPanicInStageRecovered covers the backend stages (scheduling, linking).
+func TestPanicInStageRecovered(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	ctx := pipeline.NewContext()
+	err := ctx.Stage("tsched", p, func() error { panic("scheduler bug") })
+	pe, ok := err.(*pipeline.PanicError)
+	if !ok {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Pass != "tsched" || pe.Value != "scheduler bug" {
+		t.Errorf("bad attribution: %+v", pe)
+	}
+}

@@ -4,11 +4,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/mach"
 )
+
+// ErrInternal is a per-function backend crash converted into an error: a
+// panic in lowering, trace selection, scheduling, or register allocation
+// fails that function's compilation unit with attribution instead of
+// tearing down the whole worker pool (and the process) with a stack trace.
+type ErrInternal struct {
+	Func  string // function whose compilation crashed
+	Value any    // recovered panic value
+	Stack []byte // debug.Stack() at recovery
+}
+
+func (e *ErrInternal) Error() string {
+	return fmt.Sprintf("internal scheduler error compiling %s: %v", e.Func, e.Value)
+}
 
 // CompileOptions configures a whole-program backend run.
 type CompileOptions struct {
@@ -82,8 +97,19 @@ func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o Compi
 }
 
 // compileOne runs the whole backend on a single function, descending the
-// trace-length retry ladder on register pressure.
-func compileOne(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]float64, layout map[string]int64, ladder []int) (*FuncCode, error) {
+// trace-length retry ladder on register pressure. Panics anywhere in the
+// per-function backend are recovered into *ErrInternal so one poisoned
+// function cannot kill the worker pool.
+func compileOne(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]float64, layout map[string]int64, ladder []int) (fc *FuncCode, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fc, err = nil, &ErrInternal{Func: f.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return compileOneInner(cfg, prog, f, prof, layout, ladder)
+}
+
+func compileOneInner(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]float64, layout map[string]int64, ladder []int) (*FuncCode, error) {
 	vf, err := LowerFunc(prog, f, f.Name == "main")
 	if err != nil {
 		return nil, err
@@ -94,7 +120,7 @@ func compileOne(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]f
 		if err == nil {
 			return fc, nil
 		}
-		if _, pressure := err.(*ErrPressure); !pressure {
+		if !isCapacityErr(err) {
 			return nil, err
 		}
 		if os.Getenv("TSCHED_DEBUG") != "" {
@@ -102,6 +128,16 @@ func compileOne(cfg mach.Config, prog *ir.Program, f *ir.Func, prof map[[2]int]f
 		}
 	}
 	return nil, err
+}
+
+// isCapacityErr reports whether err is a structured capacity rejection
+// (register pressure or schedule-size blowup) that shorter traces may fix.
+func isCapacityErr(err error) bool {
+	switch err.(type) {
+	case *ErrPressure, *ErrScheduleSize:
+		return true
+	}
+	return false
 }
 
 // retryLadder returns the descending trace-length caps tried on register

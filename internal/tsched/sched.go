@@ -91,6 +91,19 @@ const (
 // maxTraceInstrs bounds a single trace's schedule as a runaway guard.
 const maxTraceInstrs = 20000
 
+// ErrScheduleSize reports a trace whose schedule exceeded the runaway guard.
+// Like ErrPressure it is a structured capacity rejection, not a crash: the
+// machine is finite and the compiler refuses rather than emitting a schedule
+// it cannot prove out.
+type ErrScheduleSize struct {
+	Func  string
+	Limit int
+}
+
+func (e *ErrScheduleSize) Error() string {
+	return fmt.Sprintf("%s: trace schedule exceeded %d instructions", e.Func, e.Limit)
+}
+
 // scheduleTrace compacts one linearized, renamed trace with a list scheduler
 // over the machine's resources.
 func scheduleTrace(cfg mach.Config, vf *VFunc, g *traceGraph, home map[VReg]uint8, layout map[string]int64) (*schedResult, error) {
@@ -155,7 +168,7 @@ func scheduleTrace(cfg mach.Config, vf *VFunc, g *traceGraph, home map[VReg]uint
 
 	for k := 0; remaining > 0; k++ {
 		if k > maxTraceInstrs {
-			return nil, fmt.Errorf("%s: trace schedule exceeded %d instructions", vf.Name, maxTraceInstrs)
+			return nil, &ErrScheduleSize{Func: vf.Name, Limit: maxTraceInstrs}
 		}
 		for {
 			progress := false

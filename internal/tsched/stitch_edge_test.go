@@ -1,0 +1,151 @@
+package tsched
+
+import (
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/profile"
+)
+
+// splitLiveSrc has a rare loop exit (the break) with two registers — s and t,
+// both renamed by on-trace scheduling — live across the split into the
+// off-trace code. The stitcher must emit restore moves on that edge.
+const splitLiveSrc = `
+var p [16]int = {1, 2, 901}
+func main() int {
+	var s int = 0
+	var t int = 1
+	for (var i int = 0; i < 16; i = i + 1) {
+		s = s + p[i] * 3
+		t = t ^ (s + i)
+		if (p[i] > 900) { break }
+	}
+	print_i(t & 255)
+	return (s * 5 + t) & 65535
+}
+`
+
+// joinRejoinSrc is a loop-carried diamond: the cold arm rejoins the trace
+// mid-body with v and acc live, and the post-join code is free to be
+// scheduled above the join entrance, forcing a relocated (interior)
+// entrance reached through a join-compensation block.
+const joinRejoinSrc = `
+var q [8]int = {5, -3, 7, 2, -9, 4, 1, 0}
+func main() int {
+	var acc int = 0
+	for (var i int = 0; i < 8; i = i + 1) {
+		var v int = q[i]
+		if (v < 0) { v = 0 - v * 3 }
+		acc = acc + v * (i + 1)
+	}
+	return acc & 65535
+}
+`
+
+// assemble runs trace selection, scheduling, and stitching on main.
+func assemble(t *testing.T, src string, pairs int) *SFunc {
+	t.Helper()
+	prog, vf := lower(t, src, "main")
+	prof := profile.Static(prog)["main"]
+	layout := map[string]int64{}
+	addr := int64(0x2000)
+	for _, g := range prog.Globals {
+		layout[g.Name] = addr
+		addr += g.Size()
+	}
+	sf, err := Assemble(mach.NewConfig(pairs), vf, prof, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+// TestSplitCompensationEmitted: the rare-exit program must produce
+// compensation ops (restore moves for s and t at minimum) on the off-trace
+// edge, landing in a separate serialized block that ends with a jump.
+func TestSplitCompensationEmitted(t *testing.T) {
+	sf := assemble(t, splitLiveSrc, 4)
+	if sf.CompOps == 0 {
+		t.Fatal("no compensation ops emitted for a split with live renamed registers")
+	}
+	// A compensation block is a non-entry SBlock whose only control transfer
+	// is the final jump back to an entrance.
+	compBlocks := 0
+	for _, b := range sf.Blocks {
+		if b.ID == sf.Entry || len(b.Instrs) == 0 {
+			continue
+		}
+		var jumps, others int
+		for _, in := range b.Instrs {
+			for _, s := range in.Slots {
+				switch s.Op.Kind {
+				case mach.OpJmp:
+					jumps++
+				case mach.OpBrT, mach.OpCall, mach.OpHalt, mach.OpSyscall, mach.OpJmpR:
+					others++
+				}
+			}
+		}
+		if jumps == 1 && others == 0 {
+			compBlocks++
+		}
+	}
+	if compBlocks == 0 {
+		t.Error("compensation ops emitted but no serialized compensation block found")
+	}
+}
+
+// TestJoinCompensationInteriorEntrance: when post-join operations are
+// scheduled above a join entrance, the rejoining edge must route through a
+// compensation block that jumps to an *interior* instruction of the trace
+// block (TargetOff > 0) — the §4 relocated-entrance case.
+func TestJoinCompensationInteriorEntrance(t *testing.T) {
+	sf := assemble(t, joinRejoinSrc, 4)
+	interior := false
+	for _, b := range sf.Blocks {
+		for _, in := range b.Instrs {
+			for _, s := range in.Slots {
+				if s.Op.Kind == mach.OpJmp && s.TargetOff > 0 {
+					interior = true
+				}
+			}
+		}
+	}
+	if !interior {
+		t.Skip("schedule did not relocate the join entrance on this config")
+	}
+	if sf.CompOps == 0 {
+		t.Error("interior join entrance exists but no compensation ops were counted")
+	}
+}
+
+// TestEveryExitNeedsCompensation: a trace whose every conditional exit
+// carries live renamed state — each of the three breaks leaves with s, t
+// renamed mid-trace, so every off-trace edge must get restore code.
+func TestEveryExitNeedsCompensation(t *testing.T) {
+	src := `
+var p [8]int = {10, 20, 30, 40, 50, 60, 70, 80}
+func main() int {
+	var s int = 0
+	var t int = 7
+	for (var i int = 0; i < 8; i = i + 1) {
+		s = s + p[i]
+		t = t * 3 + i
+		if (s > 90) { break }
+		t = t - p[i] / 2
+		if (t > 800) { break }
+		s = s ^ (t & 15)
+		if ((s + t) > 950) { break }
+	}
+	print_i(s & 255)
+	return (s * 9 + t) & 65535
+}
+`
+	sf := assemble(t, src, 4)
+	// every BrT that leaves the trace region must either target a comp block
+	// or carry no live renamed state; with three mid-trace renamed exits we
+	// expect multiple comp blocks.
+	if sf.CompOps < 2 {
+		t.Errorf("expected compensation on multiple exits, got %d comp ops", sf.CompOps)
+	}
+}

@@ -74,11 +74,11 @@ func (m *Machine) execBranch(o *mach.Op) (int, *int32, error) {
 		case "print_f":
 			fmt.Fprintf(&m.out, "%g\n", math.Float64frombits(m.fregs[0][mach.ArgFBase]))
 		default:
-			return -1, nil, m.fault("unknown syscall %q", o.Sym)
+			return -1, nil, m.fault(TrapSyscall, "unknown syscall %q", o.Sym)
 		}
 		return -1, nil, nil
 	}
-	return -1, nil, m.fault("%s on branch unit", mach.OpName(o.Kind))
+	return -1, nil, m.fault(TrapBadOp, "%s on branch unit", mach.OpName(o.Kind))
 }
 
 // execOp executes one ALU/F/memory operation, enqueuing its register write
@@ -117,13 +117,13 @@ func (m *Machine) execOp(o *mach.Op) error {
 	case ir.Div:
 		d := b()
 		if d == 0 {
-			return m.fault("integer divide by zero")
+			return m.fault(TrapDivZero, "integer divide by zero")
 		}
 		seti(a() / d)
 	case ir.Rem:
 		d := b()
 		if d == 0 {
-			return m.fault("integer remainder by zero")
+			return m.fault(TrapDivZero, "integer remainder by zero")
 		}
 		seti(a() % d)
 	case ir.And:
@@ -201,7 +201,7 @@ func (m *Machine) execOp(o *mach.Op) error {
 	case ir.Store:
 		return m.execStore(o)
 	default:
-		return m.fault("cannot execute %s", mach.OpName(o.Kind))
+		return m.fault(TrapBadOp, "cannot execute %s", mach.OpName(o.Kind))
 	}
 	return nil
 }
@@ -214,7 +214,7 @@ func (m *Machine) execLoad(o *mach.Op, lat int) error {
 	if o.Kind == ir.LoadSpec {
 		m.Stats.SpecLoads++
 	}
-	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) {
+	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) || ea%size != 0 {
 		if o.Kind == ir.LoadSpec {
 			// §7: no valid translation — execution continues; the target
 			// register is loaded with a "funny number" to help catch bugs
@@ -227,7 +227,10 @@ func (m *Machine) execLoad(o *mach.Op, lat int) error {
 			}
 			return nil
 		}
-		return m.fault("bus error: load %#x", ea)
+		if ea%size != 0 {
+			return m.fault(TrapUnaligned, "unaligned %d-byte load %#x", size, ea)
+		}
+		return m.fault(TrapMemBounds, "bus error: load %#x", ea)
 	}
 	m.touchBank(ea)
 	var v uint64
@@ -246,7 +249,10 @@ func (m *Machine) execStore(o *mach.Op) error {
 	ea, _ := m.eaOf(o)
 	size := o.Type.Size()
 	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) {
-		return m.fault("bus error: store %#x", ea)
+		return m.fault(TrapMemBounds, "bus error: store %#x", ea)
+	}
+	if ea%size != 0 {
+		return m.fault(TrapUnaligned, "unaligned %d-byte store %#x", size, ea)
 	}
 	m.touchBank(ea)
 	v := m.readArg(o.C) // data comes from the store file (§6.2)
@@ -288,7 +294,7 @@ func (m *Machine) checkBeatResources(in *mach.Instr, beat uint8) error {
 			// distinct (unit, beat) handled by Beat filter
 		}
 		if units[key] {
-			return m.fault("two ops on unit %s in one beat", s.Unit)
+			return m.fault(TrapResource, "two ops on unit %s in one beat", s.Unit)
 		}
 		units[key] = true
 		for _, a := range []mach.Arg{s.Op.A, s.Op.B, s.Op.C} {
@@ -303,16 +309,16 @@ func (m *Machine) checkBeatResources(in *mach.Instr, beat uint8) error {
 	}
 	for b, n := range reads {
 		if n > m.Cfg.RFReadPorts {
-			return m.fault("board %d: %d register reads in one beat (max %d)", b, n, m.Cfg.RFReadPorts)
+			return m.fault(TrapResource, "board %d: %d register reads in one beat (max %d)", b, n, m.Cfg.RFReadPorts)
 		}
 	}
 	for b, n := range memPerBoard {
 		if n > 1 {
-			return m.fault("board %d initiated %d memory references in one beat", b, n)
+			return m.fault(TrapResource, "board %d initiated %d memory references in one beat", b, n)
 		}
 	}
 	if pa > m.Cfg.PABuses {
-		return m.fault("%d physical-address bus uses in one beat (max %d)", pa, m.Cfg.PABuses)
+		return m.fault(TrapResource, "%d physical-address bus uses in one beat (max %d)", pa, m.Cfg.PABuses)
 	}
 	return nil
 }

@@ -1,0 +1,166 @@
+package vliw
+
+import (
+	"math"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// TestTrapDivZeroTaxonomy checks that a runtime divide-by-zero surfaces as a
+// structured Fault carrying the trap code, beat, and faulting unit.
+func TestTrapDivZeroTaxonomy(t *testing.T) {
+	img := build(t, `
+var a [2]int
+func main() int {
+	var p []int = a
+	return 7 / p[0]
+}`, mach.Trace7())
+	m := New(img)
+	_, _, err := m.Run()
+	if err == nil {
+		t.Fatal("divide by zero did not fault")
+	}
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("want *Fault, got %T: %v", err, err)
+	}
+	if f.Code != TrapDivZero {
+		t.Errorf("trap code = %s, want %s", f.Code, TrapDivZero)
+	}
+	if f.Beat <= 0 {
+		t.Errorf("fault carries no beat: %+v", f)
+	}
+	if f.Unit == "" {
+		t.Errorf("fault carries no functional unit: %+v", f)
+	}
+}
+
+// TestTrapUnaligned drives the load/store bounds checks directly with crafted
+// effective addresses: the compiler never emits unaligned references, so the
+// only way to reach these traps is raw ops (exactly what a miscompile or a
+// corrupted address register would produce).
+func TestTrapUnaligned(t *testing.T) {
+	img := build(t, `func main() int { return 0 }`, mach.Trace7())
+	m := New(img)
+
+	store := &mach.Op{Kind: ir.Store, Type: ir.I32,
+		A: mach.ImmArg(int32(ir.GlobalBase + 2)), B: mach.ImmArg(0), C: mach.ImmArg(1)}
+	err := m.execStore(store)
+	f, ok := err.(*Fault)
+	if !ok || f.Code != TrapUnaligned {
+		t.Errorf("unaligned store: got %v, want TrapUnaligned fault", err)
+	}
+
+	load := &mach.Op{Kind: ir.Load, Type: ir.F64, Dst: mach.PReg{Bank: mach.BankF},
+		A: mach.ImmArg(int32(ir.GlobalBase + 4)), B: mach.ImmArg(0)}
+	err = m.execLoad(load, 1)
+	f, ok = err.(*Fault)
+	if !ok || f.Code != TrapUnaligned {
+		t.Errorf("unaligned load: got %v, want TrapUnaligned fault", err)
+	}
+
+	// A speculative load takes the §7 funny-number path instead of trapping.
+	spec := &mach.Op{Kind: ir.LoadSpec, Type: ir.F64, Dst: mach.PReg{Bank: mach.BankF},
+		A: mach.ImmArg(int32(ir.GlobalBase + 4)), B: mach.ImmArg(0)}
+	before := m.Stats.SpecFaults
+	if err := m.execLoad(spec, 1); err != nil {
+		t.Errorf("unaligned speculative load trapped: %v", err)
+	}
+	if m.Stats.SpecFaults != before+1 {
+		t.Errorf("speculative unaligned load did not count a funny number")
+	}
+}
+
+// TestTrapMemBoundsCode checks out-of-range references carry TrapMemBounds.
+func TestTrapMemBoundsCode(t *testing.T) {
+	img := build(t, `
+var a [4]int
+func main() int {
+	var p []int = a
+	return p[1 << 20]
+}`, mach.Trace7())
+	m := New(img)
+	_, _, err := m.Run()
+	f, ok := err.(*Fault)
+	if !ok || f.Code != TrapMemBounds {
+		t.Fatalf("want TrapMemBounds fault, got %v", err)
+	}
+}
+
+const stallSrc = `
+var a [64]float
+func main() int {
+	for (var i int = 0; i < 64; i = i + 1) { a[i] = a[i] + 1.5 }
+	var s float = 0.0
+	for (var i int = 0; i < 64; i = i + 1) { s = s + a[i] }
+	if (s < 95.9) { return 1 }
+	if (s > 96.1) { return 2 }
+	return 0
+}`
+
+// TestStallBankIsPureTiming injects a long stall on one memory bank and
+// checks that execution slows down but computes bit-identical results: the
+// bank-busy network is the one place the machine *does* interlock, so a
+// stall must never change architectural state.
+func TestStallBankIsPureTiming(t *testing.T) {
+	img := build(t, stallSrc, mach.Trace7())
+
+	clean := New(img)
+	v0, out0, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stalled := New(img)
+	stalled.StallBank(ir.GlobalBase, 5_000)
+	v1, out1, err := stalled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v0 || out1 != out0 {
+		t.Errorf("bank stall changed results: (%d,%q) vs (%d,%q)", v1, out1, v0, out0)
+	}
+	if stalled.Stats.Beats <= clean.Stats.Beats {
+		t.Errorf("stall did not cost time: %d vs %d beats", stalled.Stats.Beats, clean.Stats.Beats)
+	}
+}
+
+// TestInjectWriteCorrupts proves the fault hook is live: flipping a single
+// register write on an interlock-free machine must change the observable
+// outcome (different exit/output or a trap) — silent absorption would mean
+// the hook, and therefore the differential harness built on it, tests nothing.
+func TestInjectWriteCorrupts(t *testing.T) {
+	img := build(t, stallSrc, mach.Trace7())
+
+	clean := New(img)
+	v0, out0, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := New(img)
+	faulty.CycleLimit = 10 * clean.Stats.Beats
+	n := int64(0)
+	faulty.InjectWrite = func(beat int64, dst mach.PReg, val uint64) uint64 {
+		n++
+		if n != 40 { // corrupt exactly one write, mid-program
+			return val
+		}
+		if dst.Bank == mach.BankB {
+			if val == 0 {
+				return 1
+			}
+			return 0
+		}
+		if dst.Bank == mach.BankF {
+			return math.Float64bits(math.Float64frombits(val) + 1e6)
+		}
+		return val ^ 0xFFFF
+	}
+	v1, out1, err := faulty.Run()
+	if err == nil && v1 == v0 && out1 == out0 {
+		t.Errorf("single-write corruption was not observable: (%d,%q)", v1, out1)
+	}
+}

@@ -66,16 +66,83 @@ func (s *Stats) MFLOPS() float64 {
 	return float64(s.FloatOps) / (float64(s.Beats) * mach.BeatNs * 1e-3)
 }
 
+// TrapCode classifies machine faults. The TRACE has no interlocks, so the
+// hardware detects only a small set of conditions; everything else the
+// compiler must prevent statically. The taxonomy lets the differential fuzz
+// oracle and the cmd tools distinguish program bugs (bad memory access,
+// divide by zero) from compiler bugs (resource overflow, write races).
+type TrapCode int
+
+const (
+	// TrapUnknown is a fault with no more specific classification.
+	TrapUnknown TrapCode = iota
+	// TrapBadPC is an instruction fetch outside the linked image (a wild
+	// jump, a corrupted link register, or a fall-off-the-end).
+	TrapBadPC
+	// TrapMemBounds is a data reference outside mapped memory (below
+	// GlobalBase or past the top of RAM) by a non-speculative op.
+	TrapMemBounds
+	// TrapUnaligned is a data reference not aligned to its access size.
+	TrapUnaligned
+	// TrapDivZero is an integer divide or remainder by zero.
+	TrapDivZero
+	// TrapResource is a static resource-plan violation: register-file port
+	// overflow, bus oversubscription, or two ops on one unit in one beat —
+	// always a compiler bug surfacing as hardware corruption.
+	TrapResource
+	// TrapWriteRace is two pipeline writes retiring into one register in the
+	// same beat — a scheduling bug on the interlock-free machine.
+	TrapWriteRace
+	// TrapBadOp is an opcode the decoded slot's functional unit cannot
+	// execute (a linker or encoder bug).
+	TrapBadOp
+	// TrapSyscall is an unknown system-call service name.
+	TrapSyscall
+)
+
+var trapNames = [...]string{
+	TrapUnknown: "fault", TrapBadPC: "bad-pc", TrapMemBounds: "mem-bounds",
+	TrapUnaligned: "unaligned", TrapDivZero: "div-zero", TrapResource: "resource",
+	TrapWriteRace: "write-race", TrapBadOp: "bad-op", TrapSyscall: "syscall",
+}
+
+func (c TrapCode) String() string {
+	if int(c) < len(trapNames) {
+		return trapNames[c]
+	}
+	return fmt.Sprintf("trap(%d)", int(c))
+}
+
 // Fault is a hardware-detectable error: a resource conflict the compiler
-// should have prevented, or a memory violation.
+// should have prevented, or a memory violation. It carries the faulting
+// beat, PC, and — when the fault is raised while a slot executes — the
+// functional unit whose operation faulted.
 type Fault struct {
+	Code TrapCode
 	PC   int
 	Beat int64
+	Unit string // functional unit of the faulting op ("" outside execution)
 	Msg  string
 }
 
 func (f *Fault) Error() string {
-	return fmt.Sprintf("machine fault at pc=%d beat=%d: %s", f.PC, f.Beat, f.Msg)
+	if f.Unit != "" {
+		return fmt.Sprintf("machine fault [%s] at pc=%d beat=%d unit=%s: %s", f.Code, f.PC, f.Beat, f.Unit, f.Msg)
+	}
+	return fmt.Sprintf("machine fault [%s] at pc=%d beat=%d: %s", f.Code, f.PC, f.Beat, f.Msg)
+}
+
+// ErrCycleLimit reports that execution exceeded the machine's hard cycle
+// budget. On hardware with no interlocks a miscompiled program cannot fault
+// on a hazard — it can only loop or drift — so the budget is the watchdog
+// that turns "the simulator wedged" into a diagnosable error.
+type ErrCycleLimit struct {
+	Limit int64 // the budget that was exhausted, in beats
+	PC    int   // program counter when the budget ran out
+}
+
+func (e *ErrCycleLimit) Error() string {
+	return fmt.Sprintf("cycle limit exceeded: %d beats at pc=%d (runaway or miscompiled program?)", e.Limit, e.PC)
 }
 
 // Trap cost model (beats), standing in for the §6.4.3 trap handler code:
@@ -139,10 +206,26 @@ type Machine struct {
 	FlushOnSwitch bool
 
 	// Verification counters for the current beat.
-	wrCount  map[[2]int]int // (board, beatParity) writes this beat
-	StepLim  int64
-	Stats    Stats
-	CheckRes bool // verify port/bus limits (off for Ideal)
+	wrCount map[[2]int]int // (board, beatParity) writes this beat
+	// CycleLimit is the hard beat budget: exceeding it ends the run with
+	// *ErrCycleLimit instead of hanging the process. New sets a generous
+	// default; cmd/tracesim exposes it as -max-cycles and the fuzz oracle
+	// tightens it so hostile inputs terminate quickly.
+	CycleLimit int64
+	Stats      Stats
+	CheckRes   bool // verify port/bus limits (off for Ideal)
+
+	// curUnit names the functional unit whose slot is executing, for fault
+	// attribution on the interlock-free datapath.
+	curUnit string
+
+	// InjectWrite, when set, observes — and may corrupt — every register
+	// write as it retires from a functional-unit pipeline, before the value
+	// lands in the register file. It is the fault-injection hook the
+	// robustness harness uses to prove that single-event corruption on a
+	// no-interlock machine is *observable* (a divergence or a trap), not
+	// silently absorbed. Return val unchanged for a transparent probe.
+	InjectWrite func(beat int64, dst mach.PReg, val uint64) uint64
 
 	// TraceFn, when set, is called before each instruction with the PC and
 	// current beat (debugging aid; also used by cmd/tracesim -trace).
@@ -169,12 +252,12 @@ type Machine struct {
 // New creates a machine for the image with a fresh memory.
 func New(img *isa.Image) *Machine {
 	m := &Machine{
-		Cfg:      img.Cfg,
-		Img:      img,
-		Mem:      make([]byte, img.RequiredMem()),
-		bankBusy: map[int]int64{},
-		StepLim:  2_000_000_000,
-		CheckRes: !img.Cfg.Ideal,
+		Cfg:        img.Cfg,
+		Img:        img,
+		Mem:        make([]byte, img.RequiredMem()),
+		bankBusy:   map[int]int64{},
+		CycleLimit: 2_000_000_000,
+		CheckRes:   !img.Cfg.Ideal,
 	}
 	m.itags = make([]int, img.Cfg.ICacheInstrs)
 	m.iasids = make([]uint8, img.Cfg.ICacheInstrs)
@@ -289,9 +372,9 @@ func (m *Machine) Run() (int32, string, error) {
 	m.iregs[mach.RegSP.Board][mach.RegSP.Idx] = uint32(int64(len(m.Mem)) &^ 7)
 	m.pc = m.Img.Entry
 	for !m.halted {
-		if m.beat > m.StepLim {
+		if m.beat > m.CycleLimit {
 			m.Stats.Beats = m.beat
-			return 0, m.out.String(), &Fault{m.pc, m.beat, "beat limit exceeded (runaway program?)"}
+			return 0, m.out.String(), &ErrCycleLimit{Limit: m.CycleLimit, PC: m.pc}
 		}
 		if err := m.step(); err != nil {
 			m.Stats.Beats = m.beat
@@ -302,14 +385,29 @@ func (m *Machine) Run() (int32, string, error) {
 	return m.exit, m.out.String(), nil
 }
 
-func (m *Machine) fault(format string, args ...any) error {
-	return &Fault{m.pc, m.beat, fmt.Sprintf(format, args...)}
+func (m *Machine) fault(code TrapCode, format string, args ...any) error {
+	return &Fault{Code: code, PC: m.pc, Beat: m.beat, Unit: m.curUnit, Msg: fmt.Sprintf(format, args...)}
+}
+
+// StallBank forces the RAM bank holding byte address ea busy for the next n
+// beats — an injectable memory-system fault. A stalled bank is a pure timing
+// perturbation: the bank-stall mechanism (§6.4.4) charges the delay before
+// the instruction initiates, so results must be unchanged while Stats.Beats
+// and Stats.BankStalls grow. The robustness tests use it to prove the
+// machine is timing-robust where it must be and corruption-sensitive where
+// it must be.
+func (m *Machine) StallBank(ea int64, n int64) {
+	ctrl, bank := m.Cfg.BankOf(ea)
+	id := ctrl*8 + bank
+	if until := m.beat + n; until > m.bankBusy[id] {
+		m.bankBusy[id] = until
+	}
 }
 
 // step executes one wide instruction (two beats).
 func (m *Machine) step() error {
 	if m.pc < 0 || m.pc >= len(m.Img.Instrs) {
-		return m.fault("instruction fetch outside image")
+		return m.fault(TrapBadPC, "instruction fetch outside image")
 	}
 	// timer interrupts are taken at instruction boundaries; the pipelines
 	// drain on their own, so the handler cost is a pure beat charge
@@ -379,7 +477,9 @@ func (m *Machine) step() error {
 	var haltVal *int32
 
 	for beat := 0; beat < 2; beat++ {
-		m.applyWrites()
+		if err := m.applyWrites(); err != nil {
+			return err
+		}
 		if m.CheckRes {
 			if err := m.checkBeatResources(in, uint8(beat)); err != nil {
 				return err
@@ -391,6 +491,7 @@ func (m *Machine) step() error {
 				continue
 			}
 			m.Stats.Ops++
+			m.curUnit = s.Unit.String()
 			switch s.Unit.Kind {
 			case mach.UBR:
 				t, halt, err := m.execBranch(&s.Op)
@@ -408,6 +509,7 @@ func (m *Machine) step() error {
 					return err
 				}
 			}
+			m.curUnit = ""
 		}
 		m.beat++
 	}
@@ -510,10 +612,14 @@ func (m *Machine) applyWrites() error {
 			continue
 		}
 		if written[w.dst] {
-			return m.fault("write-write race on %s", w.dst)
+			return m.fault(TrapWriteRace, "write-write race on %s", w.dst)
 		}
 		written[w.dst] = true
-		m.writeReg(w.dst, w.val)
+		val := w.val
+		if m.InjectWrite != nil {
+			val = m.InjectWrite(m.beat, w.dst, val)
+		}
+		m.writeReg(w.dst, val)
 	}
 	m.pending = kept
 	return nil

@@ -1,6 +1,7 @@
 package vliw
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -186,10 +187,13 @@ func main() int {
 	return i
 }`, mach.Trace7())
 	m := New(img)
-	m.StepLim = 10000
+	m.CycleLimit = 10000
 	_, _, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "beat limit") {
+	var lim *ErrCycleLimit
+	if err == nil || !errors.As(err, &lim) {
 		t.Errorf("runaway program not stopped: %v", err)
+	} else if lim.Limit != 10000 {
+		t.Errorf("ErrCycleLimit.Limit = %d, want 10000", lim.Limit)
 	}
 }
 
@@ -472,17 +476,17 @@ func main() int {
 }`
 	img := build(t, src, mach.Trace7())
 	m := New(img)
-	m.StepLim = 50_000
+	m.CycleLimit = 50_000
 	_, _, err := m.Run()
 	if err == nil {
 		t.Fatal("infinite loop terminated without fault")
 	}
-	f, ok := err.(*Fault)
+	lim, ok := err.(*ErrCycleLimit)
 	if !ok {
-		t.Fatalf("want *Fault, got %T: %v", err, err)
+		t.Fatalf("want *ErrCycleLimit, got %T: %v", err, err)
 	}
-	if f.Beat <= 50_000 {
-		t.Errorf("fault beat %d not past the limit", f.Beat)
+	if lim.Limit != 50_000 {
+		t.Errorf("ErrCycleLimit.Limit = %d, want 50_000", lim.Limit)
 	}
 }
 

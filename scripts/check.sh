@@ -19,4 +19,11 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== tracefuzz smoke (deterministic differential run)"
+go run ./cmd/tracefuzz -seed 1 -n 200
+
+echo "== go test -fuzz (10s per target)"
+go test ./internal/fuzz -run=^$ -fuzz=FuzzDifferential -fuzztime=10s
+go test ./internal/fuzz -run=^$ -fuzz=FuzzGen -fuzztime=10s
+
 echo "== ok"
