@@ -29,6 +29,7 @@ func main() {
 	stats := flag.Bool("stats", true, "print code-size statistics")
 	ideal := flag.Bool("ideal", false, "target the Figure-1 ideal VLIW")
 	verify := flag.Bool("verify", false, "validate the IR after every compiler pass")
+	lint := flag.Bool("lint", false, "statically verify the linked schedule (schedcheck) after linking")
 	timePasses := flag.Bool("time-passes", false, "print per-pass timing and IR-size report")
 	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
@@ -60,7 +61,7 @@ func main() {
 	}
 	copts := core.Options{
 		Config: cfg, Opt: lvl, Profile: mode,
-		Verify: *verify, Parallelism: *jobs,
+		Verify: *verify, Lint: *lint, Parallelism: *jobs,
 	}
 	if *dumpIR {
 		copts.DumpIR = os.Stdout

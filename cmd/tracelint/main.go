@@ -1,0 +1,160 @@
+// Command tracelint statically verifies compiled MF programs against the
+// TRACE's no-interlock schedule contract (internal/schedcheck): every
+// functional unit, register-file port, and bus in every beat on every path,
+// plus the in-flight-write dataflow the interlock-free pipelines assume.
+//
+// Usage:
+//
+//	tracelint [-pairs N] [-O level] [-ideal] [-matrix] [-corpus] [-v] prog.mf...
+//
+// Each argument is compiled and its linked image verified. With -matrix the
+// file is checked across O0/O1/O2 at every machine width (Trace 7, 14, 28)
+// instead of the single -pairs/-O configuration. With -corpus the arguments
+// are go-fuzz corpus entries ("go test fuzz v1" + a quoted string) instead
+// of plain source files; entries the frontend rejects are skipped, since a
+// fuzz corpus legitimately holds invalid programs.
+//
+// Exit status is 1 if any image has an error-severity finding (a contract
+// violation that corrupts state on the interlock-free hardware), 2 on usage
+// or compile errors. Warnings (dead words, divide-unit occupancy overlaps)
+// never affect the exit status; -v prints them with the per-check summary.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
+	"github.com/multiflow-repro/trace/internal/tsched"
+)
+
+var (
+	pairs   = flag.Int("pairs", 4, "I-F board pairs (1, 2, or 4)")
+	olevel  = flag.Int("O", 2, "optimization level (0-2)")
+	ideal   = flag.Bool("ideal", false, "target the Figure-1 ideal VLIW (CFG and dataflow checks only)")
+	matrix  = flag.Bool("matrix", false, "check O0/O1/O2 x Trace 7/14/28 instead of one configuration")
+	corpus  = flag.Bool("corpus", false, "arguments are go-fuzz corpus entries, not source files")
+	verbose = flag.Bool("v", false, "print warnings and the per-check summary")
+)
+
+func optLevel(lvl int) opt.Options {
+	switch lvl {
+	case 0:
+		return opt.None()
+	case 1:
+		return opt.Options{Inline: true, UnrollFactor: 4}
+	default:
+		return opt.Default()
+	}
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [flags] prog.mf...")
+		os.Exit(2)
+	}
+
+	type config struct {
+		name string
+		cfg  mach.Config
+		opt  opt.Options
+	}
+	var configs []config
+	if *matrix {
+		for _, lvl := range []int{0, 1, 2} {
+			for _, p := range []int{1, 2, 4} {
+				configs = append(configs, config{
+					fmt.Sprintf("O%d/trace%d", lvl, 7*p), mach.NewConfig(p), optLevel(lvl)})
+			}
+		}
+	} else {
+		cfg := mach.NewConfig(*pairs)
+		if *ideal {
+			cfg = mach.IdealConfig(*pairs)
+		}
+		configs = append(configs, config{fmt.Sprintf("O%d/%s", *olevel, cfg.Name), cfg, optLevel(*olevel)})
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracelint:", err)
+			os.Exit(2)
+		}
+		src := string(raw)
+		if *corpus {
+			var ok bool
+			if src, ok = decodeCorpus(string(raw)); !ok {
+				fmt.Fprintf(os.Stderr, "tracelint: %s: not a go-fuzz corpus entry\n", path)
+				os.Exit(2)
+			}
+			if _, err := lang.Compile(src); err != nil {
+				if *verbose {
+					fmt.Printf("%s: skipped (frontend rejects it)\n", path)
+				}
+				continue
+			}
+		}
+		for _, c := range configs {
+			res, err := core.Compile(src, core.Options{Config: c.cfg, Opt: c.opt})
+			if err != nil {
+				if *corpus && isCapacityReject(err) {
+					// A corpus program honestly rejected on a narrow machine
+					// is a skip, exactly as in the fuzz oracle.
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "tracelint: %s [%s]: %v\n", path, c.name, err)
+				os.Exit(2)
+			}
+			rep := schedcheck.Check(res.Image, schedcheck.Options{
+				Src: schedcheck.NewSourceMap(res.Image, res.Funcs),
+			})
+			for _, f := range rep.Errors() {
+				fmt.Printf("%s [%s]: %s\n", path, c.name, f.String())
+				exit = 1
+			}
+			if *verbose {
+				for _, f := range rep.Warnings() {
+					fmt.Printf("%s [%s]: %s\n", path, c.name, f.String())
+				}
+				fmt.Printf("%s [%s]: %s", path, c.name, rep.Summary())
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// isCapacityReject mirrors the fuzz oracle's rule: the allocator refusing a
+// program for want of registers or schedule size is a diagnosis, not a bug.
+func isCapacityReject(err error) bool {
+	var ep *tsched.ErrPressure
+	var es *tsched.ErrScheduleSize
+	return errors.As(err, &ep) || errors.As(err, &es)
+}
+
+// decodeCorpus extracts the source string from a go-fuzz v1 corpus entry.
+func decodeCorpus(raw string) (string, bool) {
+	lines := strings.SplitN(strings.TrimSpace(raw), "\n", 2)
+	if len(lines) != 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return "", false
+	}
+	body := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(body, "string(") || !strings.HasSuffix(body, ")") {
+		return "", false
+	}
+	s, err := strconv.Unquote(body[len("string(") : len(body)-1])
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/opt"
 	"github.com/multiflow-repro/trace/internal/pipeline"
 	"github.com/multiflow-repro/trace/internal/profile"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/tsched"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
@@ -55,6 +56,11 @@ type Options struct {
 	// Verify validates the IR after every pipeline pass, so a broken pass
 	// fails at its own boundary instead of as a mystery scheduler error.
 	Verify bool
+	// Lint statically verifies the linked image against the no-interlock
+	// schedule contract (internal/schedcheck) as a final pipeline stage.
+	// Any error-severity finding fails the compilation; the report is
+	// returned as Result.Lint either way.
+	Lint bool
 	// TimePasses prints the per-pass timing/size report to stderr when
 	// compilation finishes (the report is also always available as
 	// Result.Report).
@@ -81,6 +87,9 @@ type Result struct {
 	Profile  ir.Profile
 	OptIR    *ir.Program // the optimized IR actually scheduled
 	SourceIR *ir.Program // the unoptimized reference IR
+
+	// Lint is the schedcheck report when Options.Lint was set.
+	Lint *schedcheck.Report
 
 	// Report is the per-pass timing and IR-size record of the successful
 	// attempt (classical passes, profiling, scheduling, linking).
@@ -174,6 +183,16 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 			return err
 		}); err != nil {
 			return nil, err
+		}
+		if opts.Lint {
+			if err := ctx.Stage("lint", work, func() error {
+				res.Lint = schedcheck.Check(img, schedcheck.Options{
+					Src: schedcheck.NewSourceMap(img, codes),
+				})
+				return res.Lint.Err()
+			}); err != nil {
+				return nil, err
+			}
 		}
 		res.Funcs = codes
 		res.OptIR = work

@@ -9,6 +9,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/tsched"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
@@ -19,10 +20,11 @@ import (
 var ErrSkip = errors.New("fuzz: input establishes no reference result")
 
 // Divergence is a confirmed oracle failure: the VLIW stack disagreed with
-// the scalar reference, or compilation was nondeterministic. Any Divergence
-// is a compiler or simulator bug.
+// the scalar reference, compilation was nondeterministic, or a compiled
+// artifact failed static verification. Any Divergence is a compiler or
+// simulator bug.
 type Divergence struct {
-	Stage  string // "compile", "trap", "exit", "output", "image"
+	Stage  string // "compile", "ir-validate", "lint", "trap", "exit", "output", "image"
 	Config string // machine/opt/parallelism setting that diverged
 	Detail string
 	Src    string // the offending program
@@ -99,6 +101,9 @@ func Check(src string, o Options) error {
 			return &Divergence{Stage: "compile", Config: m.name,
 				Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
 		}
+		if d := checkArtifact(res, m.name, src); d != nil {
+			return d
+		}
 		mach := vliw.New(res.Image)
 		mach.CycleLimit = maxCycles
 		gotV, gotOut, err := mach.Run()
@@ -120,6 +125,27 @@ func Check(src string, o Options) error {
 	// backends: run the sequential image against the reference, then require
 	// the 4-worker build to be byte-identical.
 	return checkO2(src, wantV, wantOut, maxCycles)
+}
+
+// checkArtifact statically verifies every artifact a successful compile
+// produced: the optimized IR the scheduler consumed must still validate,
+// and the linked image must pass schedcheck. The simulator then runs the
+// same image, so a schedule that lints clean but traps dynamically (or vice
+// versa) surfaces as a pair of contradictory findings — itself a bug in one
+// of the two implementations of the legality rules.
+func checkArtifact(res *core.Result, config, src string) *Divergence {
+	if err := res.OptIR.Validate(); err != nil {
+		return &Divergence{Stage: "ir-validate", Config: config,
+			Detail: fmt.Sprintf("optimized IR fails validation after a clean compile: %v", err), Src: src}
+	}
+	rep := schedcheck.Check(res.Image, schedcheck.Options{
+		Src: schedcheck.NewSourceMap(res.Image, res.Funcs),
+	})
+	if err := rep.Err(); err != nil {
+		return &Divergence{Stage: "lint", Config: config,
+			Detail: fmt.Sprintf("compiled image fails static schedule verification: %v", err), Src: src}
+	}
+	return nil
 }
 
 // isCapacityReject reports whether err is one of the compiler's structured
@@ -145,6 +171,9 @@ func checkO2(src string, wantV int32, wantOut string, maxCycles int64) error {
 		}
 		return &Divergence{Stage: "compile", Config: "trace28/O2/j1",
 			Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
+	}
+	if d := checkArtifact(seq, "trace28/O2/j1", src); d != nil {
+		return d
 	}
 	m := vliw.New(seq.Image)
 	m.CycleLimit = maxCycles

@@ -47,6 +47,12 @@ func Link(prog *ir.Program, funcs []*tsched.FuncCode, cfg mach.Config) (*Image, 
 		img.FuncLen[fc.Name] = len(fc.Instrs)
 		base += len(fc.Instrs)
 	}
+	// The Figure-3 branch word carries a 22-bit sign-extended displacement;
+	// addresses past 2^21 words are unreachable by any branch, so an image
+	// that large cannot be linked coherently.
+	if base >= 1<<21 {
+		return nil, errf("link: image of %d instruction words overflows the 22-bit branch address space", base)
+	}
 	mainBase, ok := img.FuncBase["main"]
 	if !ok {
 		return nil, errf("link: no main function")

@@ -1,0 +1,86 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/tsched"
+)
+
+// Link error paths: each rejection must be a positioned, structured error,
+// not a silently wrong image.
+
+func haltCode(name string) *tsched.FuncCode {
+	return &tsched.FuncCode{Name: name, Instrs: []mach.Instr{
+		{Slots: []mach.SlotOp{{Unit: mach.Unit{Kind: mach.UBR}, Op: mach.Op{Kind: mach.OpHalt}}}},
+	}}
+}
+
+func wantLinkErr(t *testing.T, funcs []*tsched.FuncCode, substr string) {
+	t.Helper()
+	img, err := Link(&ir.Program{}, funcs, mach.Trace7())
+	if err == nil {
+		t.Fatalf("Link succeeded (%d instrs), want error containing %q", len(img.Instrs), substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Link error = %q, want it to contain %q", err, substr)
+	}
+}
+
+func TestLinkMissingMain(t *testing.T) {
+	wantLinkErr(t, []*tsched.FuncCode{haltCode("helper")}, "no main function")
+}
+
+func TestLinkUndefinedCallee(t *testing.T) {
+	main := &tsched.FuncCode{Name: "main", Instrs: []mach.Instr{
+		{Slots: []mach.SlotOp{{Unit: mach.Unit{Kind: mach.UBR}, Op: mach.Op{
+			Kind: mach.OpCall, Sym: "missing", Dst: mach.RegLR}}}},
+	}}
+	wantLinkErr(t, []*tsched.FuncCode{main}, "calls undefined missing")
+}
+
+func TestLinkUndefinedGlobal(t *testing.T) {
+	main := &tsched.FuncCode{Name: "main", Instrs: []mach.Instr{
+		{Slots: []mach.SlotOp{{Unit: mach.Unit{Kind: mach.UIALU}, Op: mach.Op{
+			Kind: ir.ConstI, Type: ir.I32,
+			Dst: mach.PReg{Bank: mach.BankI, Idx: 9},
+			A:   mach.Arg{IsImm: true, Sym: "nosuch"}}}}},
+	}}
+	wantLinkErr(t, []*tsched.FuncCode{main}, `undefined global "nosuch"`)
+}
+
+func TestLinkBranchDisplacementOverflow(t *testing.T) {
+	// A branch target past 2^21 words cannot survive the 22-bit
+	// sign-extended displacement field; the encoder must reject it rather
+	// than silently wrap to a different address.
+	main := &tsched.FuncCode{Name: "main", Instrs: []mach.Instr{
+		{Slots: []mach.SlotOp{{Unit: mach.Unit{Kind: mach.UBR}, Op: mach.Op{
+			Kind: mach.OpJmp, Target: 1 << 21}}}},
+	}}
+	wantLinkErr(t, []*tsched.FuncCode{main}, "22-bit displacement")
+}
+
+func TestLinkImageOverflow(t *testing.T) {
+	// An image larger than the branch address space links to code that no
+	// branch can fully reach; Link rejects it up front.
+	big := &tsched.FuncCode{Name: "main", Instrs: make([]mach.Instr, 1<<21)}
+	wantLinkErr(t, []*tsched.FuncCode{big}, "overflows the 22-bit branch address space")
+}
+
+func TestLinkBranchDisplacementBoundary(t *testing.T) {
+	// The largest encodable target (2^21 - 1) round-trips exactly.
+	op := mach.Op{Kind: mach.OpJmp, Target: 1<<21 - 1}
+	w, err := encodeBranch(&op)
+	if err != nil {
+		t.Fatalf("target 2^21-1 rejected: %v", err)
+	}
+	dec, err := decodeBranch(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Target != 1<<21-1 {
+		t.Fatalf("target %d decoded as %d", 1<<21-1, dec.Target)
+	}
+}

@@ -314,9 +314,21 @@ func encodeALU(o *mach.Op, beat int) (uint32, error) {
 	return w, nil
 }
 
+// branchDisp range-checks a branch target against the 22-bit displacement
+// field. The decoder sign-extends bit 21, so post-link absolute addresses
+// must fit in 21 bits — beyond that the encoding would silently wrap to a
+// different (possibly negative) address.
+func branchDisp(o *mach.Op) (uint32, error) {
+	if o.Target < 0 || o.Target >= 1<<21 {
+		return 0, errf("branch target %d outside the 22-bit displacement field", o.Target)
+	}
+	return uint32(o.Target) & 0x3fffff, nil
+}
+
 // encodeBranch packs the pair's branch word.
 func encodeBranch(o *mach.Op) (uint32, error) {
 	var kind, bb, disp uint32
+	var err error
 	bb = 7
 	switch o.Kind {
 	case mach.OpBrT:
@@ -325,13 +337,19 @@ func encodeBranch(o *mach.Op) (uint32, error) {
 			return 0, errf("brt condition not in a branch bank")
 		}
 		bb = uint32(o.A.Reg.Idx)
-		disp = uint32(o.Target) & 0x3fffff
+		if disp, err = branchDisp(o); err != nil {
+			return 0, err
+		}
 	case mach.OpJmp:
 		kind = brJmp
-		disp = uint32(o.Target) & 0x3fffff
+		if disp, err = branchDisp(o); err != nil {
+			return 0, err
+		}
 	case mach.OpCall:
 		kind = brCall
-		disp = uint32(o.Target) & 0x3fffff
+		if disp, err = branchDisp(o); err != nil {
+			return 0, err
+		}
 	case mach.OpJmpR:
 		kind = brJmpR
 		disp = uint32(o.A.Reg.Idx)

@@ -1,0 +1,158 @@
+package schedcheck
+
+import (
+	"sort"
+
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// buildCFG reconstructs the machine-level control-flow graph from the
+// decoded instruction words. Successor rules mirror §6.5.2 and the
+// simulator's arbitration: every true branch test is a candidate, HALT
+// overrides any taken branch, SYSCALL is a runtime call that falls
+// through, CALL transfers to the callee's entry (the return edge is added
+// at the callee's JMPR, targeting every return site), and an instruction
+// with no always-taken transfer falls through to word+1.
+//
+// Structural findings diagnosed here: branch targets outside the image,
+// calls that do not land on a function entry, returns outside any
+// function, and fallthrough past the end of the image. Reachability is
+// computed from the entry point; unreachable non-empty words are warnings
+// (the instruction stream may legitimately carry never-entered
+// compensation blocks, but dead words are worth knowing about).
+func (c *checker) buildCFG() {
+	n := len(c.img.Instrs)
+	c.succ = make([][]int, n)
+	c.reachable = make([]bool, n)
+
+	// Function table sorted by base address.
+	for name := range c.img.FuncBase {
+		c.fnames = append(c.fnames, name)
+	}
+	sort.Slice(c.fnames, func(i, j int) bool {
+		return c.img.FuncBase[c.fnames[i]] < c.img.FuncBase[c.fnames[j]]
+	})
+	isEntry := map[int]bool{}
+	for _, name := range c.fnames {
+		c.fbases = append(c.fbases, c.img.FuncBase[name])
+		c.flens = append(c.flens, c.img.FuncLen[name])
+		isEntry[c.img.FuncBase[name]] = true
+	}
+
+	// First pass: collect call sites so JMPR return edges are known.
+	// retSites[calleeBase] lists the words control returns to.
+	retSites := map[int][]int{}
+	for a := 0; a < n; a++ {
+		for _, s := range c.img.Instrs[a].Slots {
+			if s.Unit.Kind == mach.UBR && s.Op.Kind == mach.OpCall {
+				retSites[s.Op.Target] = append(retSites[s.Op.Target], a+1)
+			}
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		var targets []int
+		transfer := false // an always-taken transfer exists
+		halt := false
+		for si := range c.img.Instrs[a].Slots {
+			s := &c.img.Instrs[a].Slots[si]
+			if s.Unit.Kind != mach.UBR {
+				continue
+			}
+			switch s.Op.Kind {
+			case mach.OpBrT:
+				if c.checkTarget(a, s, s.Op.Target) {
+					targets = append(targets, s.Op.Target)
+				}
+			case mach.OpJmp:
+				transfer = true
+				if c.checkTarget(a, s, s.Op.Target) {
+					targets = append(targets, s.Op.Target)
+				}
+			case mach.OpCall:
+				transfer = true
+				if c.checkTarget(a, s, s.Op.Target) {
+					if !isEntry[s.Op.Target] {
+						c.report(CheckBadBranch, Error, a, int(s.Beat), s.Unit, true, "call-entry",
+							"call lands at word %d, inside a function body (not a function entry)", s.Op.Target)
+					}
+					targets = append(targets, s.Op.Target)
+				}
+			case mach.OpJmpR:
+				transfer = true
+				// Return: control resumes at every return site of the
+				// containing function. A jmpr in main (or outside any
+				// function) with no callers has no successors.
+				fn := c.funcOf(a)
+				if fn == "" {
+					c.report(CheckBadBranch, Error, a, int(s.Beat), s.Unit, true, "jmpr-nofunc",
+						"jmpr outside any function body")
+					break
+				}
+				for _, ret := range retSites[c.img.FuncBase[fn]] {
+					if ret < n {
+						targets = append(targets, ret)
+					}
+				}
+			case mach.OpHalt:
+				halt = true
+			case mach.OpSyscall:
+				// runtime service; falls through
+			}
+		}
+		switch {
+		case halt:
+			// §6.5.2 arbitration with the simulator's semantics: HALT ends
+			// the run even when another branch test is true.
+			c.succ[a] = nil
+		case transfer:
+			c.succ[a] = targets
+		default:
+			if a+1 >= n {
+				c.report(CheckFallOff, Error, a, -1, mach.Unit{}, false, "",
+					"instruction falls through past the end of the image")
+			} else {
+				targets = append(targets, a+1)
+			}
+			c.succ[a] = targets
+		}
+	}
+
+	// Reachability from the entry point.
+	if n == 0 {
+		return
+	}
+	work := []int{c.img.Entry}
+	if c.img.Entry >= 0 && c.img.Entry < n {
+		c.reachable[c.img.Entry] = true
+	}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range c.succ[a] {
+			if t >= 0 && t < n && !c.reachable[t] {
+				c.reachable[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		if c.reachable[a] {
+			c.rep.Reachable++
+		} else if len(c.img.Instrs[a].Slots) > 0 {
+			c.report(CheckUnreachable, Warn, a, -1, mach.Unit{}, false, "",
+				"no path from the entry point reaches this non-empty word")
+		}
+	}
+}
+
+// checkTarget validates a branch target, reporting and returning false when
+// it points outside the image.
+func (c *checker) checkTarget(a int, s *mach.SlotOp, target int) bool {
+	if target < 0 || target >= len(c.img.Instrs) {
+		c.report(CheckBadBranch, Error, a, int(s.Beat), s.Unit, true, "range",
+			"%s target %d outside the image [0,%d)", mach.OpName(s.Op.Kind), target, len(c.img.Instrs))
+		return false
+	}
+	return true
+}

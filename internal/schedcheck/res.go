@@ -1,0 +1,171 @@
+package schedcheck
+
+import (
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+// checkResources verifies the path-independent per-word resource plan for
+// every instruction in the image (reachable or not — an unreachable word
+// with an illegal plan is still an encoder/scheduler bug worth flagging):
+//
+//   - at most one op per functional unit per beat, and every op on a unit
+//     and beat that can execute it (F units and branches initiate early);
+//   - register-file read ports per board per beat (§6: "four reads");
+//   - register-file write ports per destination board per retire beat,
+//     counting the writes issued within this word (cross-word write-port
+//     collisions are inherently global; see DESIGN.md for the caveat);
+//   - one memory reference initiated per I board per beat;
+//   - PA-bus occupancy at issue+StagePA, store-bus occupancy at the same
+//     stage, and load-data bus occupancy at issue+StageData, by bus kind;
+//   - cross-board copy traffic on the tagged ILoad/FLoad buses at the
+//     write-retire beat (F copies occupy their bus for two beats).
+//
+// The bus stages are fixed offsets from the issue beat, so two ops collide
+// on a bus only when the relevant stages coincide; within one word that
+// reduces to per-issue-beat (buses) and per-retire-beat (ports, copies)
+// counting.
+func (c *checker) checkResources() {
+	for a := range c.img.Instrs {
+		c.checkWord(a)
+	}
+}
+
+func (c *checker) checkWord(a int) {
+	in := &c.img.Instrs[a]
+	cfg := c.cfg
+
+	type unitBeat struct {
+		u mach.Unit
+		b uint8
+	}
+	used := map[unitBeat]bool{}
+	reads := map[[2]int]int{}   // (pair, beat) -> read ports
+	writes := map[[2]int]int{}  // (dest board, retire beat) -> write ports
+	memRefs := map[[2]int]int{} // (pair, beat) -> memory references
+	pa := map[int]int{}         // issue beat -> PA bus uses
+	storeBus := map[int]int{}   // issue beat -> store bus uses
+	iLoad := map[int]int{}      // issue beat -> ILoad data returns
+	fLoad := map[int]int{}      // issue beat -> FLoad data returns
+	iCopy := map[int]int{}      // retire beat -> cross-board I copies
+	fCopy := map[int]int{}      // retire beat -> cross-board F copies
+
+	for si := range in.Slots {
+		s := &in.Slots[si]
+		beat := int(s.Beat)
+
+		// Unit sanity and double-booking.
+		if int(s.Unit.Pair) >= cfg.Pairs || (s.Unit.Kind == mach.UIALU && s.Unit.Idx > 1) {
+			c.report(CheckBadSlot, Error, a, beat, s.Unit, true, s.Unit.String()+"-range",
+				"slot on unit %s, which machine %s does not have", s.Unit, cfg.Name)
+			continue
+		}
+		ub := unitBeat{s.Unit, s.Beat}
+		if used[ub] {
+			c.report(CheckUnitConflict, Error, a, beat, s.Unit, true, s.Unit.String(),
+				"two ops on unit %s in one beat", s.Unit)
+		}
+		used[ub] = true
+
+		// Op/unit/beat compatibility.
+		if !legalOnUnit(s.Unit.Kind, s.Op.Kind) {
+			c.report(CheckBadSlot, Error, a, beat, s.Unit, true, "kind-"+s.Unit.String(),
+				"%s cannot execute on %s", mach.OpName(s.Op.Kind), s.Unit)
+			continue
+		}
+		if beat != 0 && (s.Unit.Kind == mach.UBR || s.Unit.Kind == mach.UFA || s.Unit.Kind == mach.UFM) {
+			c.report(CheckBadSlot, Error, a, beat, s.Unit, true, "beat-"+s.Unit.String(),
+				"%s issues in the late beat; %s ops initiate early only", mach.OpName(s.Op.Kind), s.Unit)
+		}
+		if s.Op.Kind == ir.Nop {
+			continue
+		}
+
+		pair := int(s.Unit.Pair)
+		reads[[2]int{pair, beat}] += portReads(&s.Op)
+
+		if s.Op.Dst.Valid() {
+			lat := writeLatency(cfg, &s.Op)
+			retire := beat + lat
+			db := int(s.Op.Dst.Board)
+			writes[[2]int{db, retire}]++
+			// Non-load cross-board writes ride the tagged data buses.
+			if db != pair && !isMem(s.Op.Kind) && s.Unit.Kind != mach.UBR {
+				if s.Op.Dst.Bank == mach.BankF {
+					fCopy[retire]++
+					fCopy[retire-1]++ // 64 bits = two bus beats
+				} else {
+					iCopy[retire]++
+				}
+			}
+		}
+
+		if isMem(s.Op.Kind) {
+			memRefs[[2]int{pair, beat}]++
+			pa[beat]++
+			if s.Op.Kind == ir.Store {
+				storeBus[beat]++
+			} else if s.Op.Dst.Bank == mach.BankF {
+				fLoad[beat]++
+			} else {
+				iLoad[beat]++
+			}
+		}
+	}
+
+	for k, n := range reads {
+		if n > cfg.RFReadPorts {
+			c.report(CheckReadPorts, Error, a, k[1], mach.Unit{}, false, "",
+				"board %d: %d register-file reads in one beat (max %d)", k[0], n, cfg.RFReadPorts)
+		}
+	}
+	for k, n := range writes {
+		if n > cfg.RFWritePorts {
+			c.report(CheckWritePorts, Error, a, -1, mach.Unit{}, false, "",
+				"board %d: %d register-file writes retire together at beat +%d (max %d)",
+				k[0], n, k[1], cfg.RFWritePorts)
+		}
+	}
+	for k, n := range memRefs {
+		if n > 1 {
+			c.report(CheckMemRefs, Error, a, k[1], mach.Unit{}, false, "",
+				"I board %d initiates %d memory references in one beat (max 1)", k[0], n)
+		}
+	}
+	for b, n := range pa {
+		if n > cfg.PABuses {
+			c.report(CheckPABus, Error, a, b, mach.Unit{}, false, "",
+				"%d physical-address bus uses in one beat (max %d)", n, cfg.PABuses)
+		}
+	}
+	for b, n := range storeBus {
+		if n > cfg.StoreBuses {
+			c.report(CheckStoreBus, Error, a, b, mach.Unit{}, false, "",
+				"%d store-bus uses in one beat (max %d)", n, cfg.StoreBuses)
+		}
+	}
+	for b, n := range iLoad {
+		if n > cfg.ILoadBuses {
+			c.report(CheckLoadBus, Error, a, b, mach.Unit{}, false, "iload",
+				"%d ILoad-bus data returns in one beat (max %d)", n, cfg.ILoadBuses)
+		}
+	}
+	for b, n := range fLoad {
+		if n > cfg.FLoadBuses {
+			c.report(CheckLoadBus, Error, a, b, mach.Unit{}, false, "fload",
+				"%d FLoad-bus data returns in one beat (max %d)", n, cfg.FLoadBuses)
+		}
+	}
+	for b, n := range iCopy {
+		if n > cfg.ILoadBuses {
+			c.report(CheckCopyBus, Error, a, -1, mach.Unit{}, false, "iload",
+				"%d cross-board integer copies on the ILoad buses at beat +%d (max %d)", n, b, cfg.ILoadBuses)
+		}
+	}
+	for b, n := range fCopy {
+		if n > cfg.FLoadBuses {
+			c.report(CheckCopyBus, Error, a, -1, mach.Unit{}, false, "fload",
+				"%d cross-board float copies on the FLoad buses at beat +%d (max %d)", n, b, cfg.FLoadBuses)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package schedcheck is a whole-image static verifier of the no-interlock
+// schedule contract. The TRACE has no scoreboards, interlocks, or bus
+// arbiters (§6): the compiler statically owns every register-file port,
+// bus, functional unit, and pipeline beat, and a schedule that oversteps
+// any of them silently corrupts state on real hardware. The simulator
+// (internal/vliw) enforces the contract dynamically — but only on the beats
+// a run actually executes, so an illegal schedule on a cold off-trace path
+// (exactly where compensation-code bugs live) ships without a trap.
+//
+// schedcheck closes that gap: it analyzes the linked, *decoded* isa.Image —
+// the same artifact the machine executes — and proves the contract over
+// every path. It deliberately shares no legality code with vliw/exec.go or
+// tsched/sched.go; the rules are re-derived from mach.Config in rules.go so
+// the checker is a true second implementation. A schedule the scheduler
+// believes legal, the simulator executes cleanly, and the checker rejects
+// (or vice versa) is a bug in one of the three.
+//
+// The analysis has three layers:
+//
+//  1. CFG reconstruction (cfg.go): successors of every instruction word are
+//     recomputed from the decoded branch slots — multiway-branch priority,
+//     halt override, call/return edges via FuncBase — flagging branch
+//     targets outside the image, calls into the middle of a function,
+//     falls off the end, and unreachable non-empty words.
+//
+//  2. Per-word resource legality (res.go): unit double-booking, per-board
+//     register-file read/write port limits, the one-memory-reference-per-
+//     I-board rule, and PA/store/load/copy bus occupancy, checked locally
+//     for each instruction word.
+//
+//  3. In-flight-write dataflow (flow.go): a fixpoint analysis over the CFG
+//     tracking, for every physical register, whether it is defined on all
+//     paths (must-defined, intersected at joins) and which pipeline writes
+//     to it are still in flight (may-pending, unioned at joins). It flags
+//     reads that land inside a pending write's latency shadow, write-write
+//     races reachable on any path, and uses of never-defined registers —
+//     including paths entered by a branch that lands mid-shadow.
+//
+// Findings carry the instruction word index, beat, and functional unit, and
+// — when a SourceMap built from the compiler's tsched.FuncCode metadata is
+// supplied — the containing function and source line, so static findings
+// and dynamic vliw traps are cross-referenceable.
+package schedcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/mach"
+	"github.com/multiflow-repro/trace/internal/tsched"
+)
+
+// Severity classifies a finding. Errors are violations of the §6 contract
+// that can corrupt architectural state; warnings are suspicious but
+// survivable facts (dead code, functional-unit occupancy overlaps that the
+// per-trace scheduler cannot see across traces).
+type Severity int
+
+const (
+	// Warn marks a finding that does not corrupt state by itself.
+	Warn Severity = iota
+	// Error marks a contract violation: on the interlock-free machine it
+	// reads stale data, drops a write, or transfers control outside code.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Check names, in report order. Each is an independently derived rule; see
+// the package comment and DESIGN.md for the inventory.
+const (
+	CheckBadBranch    = "bad-branch"    // branch/call target outside code or mid-function
+	CheckFallOff      = "fall-off"      // fallthrough past the end of the image
+	CheckUnreachable  = "unreachable"   // non-empty word no path reaches (warning)
+	CheckUnitConflict = "unit-conflict" // two ops on one functional unit in one beat
+	CheckBadSlot      = "bad-slot"      // op on a unit/beat that cannot execute it
+	CheckReadPorts    = "read-ports"    // register-file read ports oversubscribed
+	CheckWritePorts   = "write-ports"   // register-file write ports oversubscribed
+	CheckMemRefs      = "mem-refs"      // >1 memory reference initiated per I board
+	CheckPABus        = "pa-bus"        // physical-address buses oversubscribed
+	CheckStoreBus     = "store-bus"     // store buses oversubscribed
+	CheckLoadBus      = "load-bus"      // load data return buses oversubscribed
+	CheckCopyBus      = "copy-bus"      // cross-board copy bus oversubscribed
+	CheckStaleRead    = "stale-read"    // read before a pending write lands
+	CheckWriteRace    = "write-race"    // two writes retire into one register in one beat
+	CheckWAWOverlap   = "waw-overlap"   // two in-flight writes to one register (error if retire order inverts)
+	CheckUndefRead    = "undef-read"    // read of a register no path defines
+	CheckFUOccupancy  = "fu-occupancy"  // iterative-divide unit occupancy overlap (warning)
+)
+
+// allChecks lists every check in summary order.
+var allChecks = []string{
+	CheckBadBranch, CheckFallOff, CheckUnreachable,
+	CheckUnitConflict, CheckBadSlot,
+	CheckReadPorts, CheckWritePorts, CheckMemRefs,
+	CheckPABus, CheckStoreBus, CheckLoadBus, CheckCopyBus,
+	CheckStaleRead, CheckWriteRace, CheckWAWOverlap, CheckUndefRead,
+	CheckFUOccupancy,
+}
+
+// Finding is one diagnosed violation, attributed to an instruction word and
+// — where the check is beat- or unit-specific — the beat and functional
+// unit, plus the containing function and source line when a SourceMap is
+// available.
+type Finding struct {
+	Check string
+	Sev   Severity
+	Word  int    // instruction word index (address in the image)
+	Beat  int    // 0 = early, 1 = late, -1 when not beat-specific
+	Unit  string // functional unit name, "" when not unit-specific
+	Func  string // containing function ("" if outside every function)
+	Line  int    // source line via tsched.FuncCode (0 = unknown)
+	Msg   string
+}
+
+func (f *Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s] word=%d", f.Sev, f.Check, f.Word)
+	if f.Beat >= 0 {
+		fmt.Fprintf(&b, " beat=%d", f.Beat)
+	}
+	if f.Unit != "" {
+		fmt.Fprintf(&b, " unit=%s", f.Unit)
+	}
+	if f.Func != "" {
+		if f.Line > 0 {
+			fmt.Fprintf(&b, " (%s:%d)", f.Func, f.Line)
+		} else {
+			fmt.Fprintf(&b, " (%s)", f.Func)
+		}
+	}
+	fmt.Fprintf(&b, ": %s", f.Msg)
+	return b.String()
+}
+
+// Report is the outcome of a Check run.
+type Report struct {
+	Findings  []Finding // all findings, in (word, beat, check) order
+	Counts    map[string]int
+	Words     int // instruction words in the image
+	Reachable int // words reachable from the entry point
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sev == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Warnings returns the warning-severity findings.
+func (r *Report) Warnings() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sev == Warn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Err returns an error summarizing the error-severity findings, or nil if
+// the image passed.
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedcheck: %d error(s):", len(errs))
+	for i := range errs {
+		if i == 8 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(errs)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", errs[i].String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Summary renders the per-check counts table (the tracelint -v output).
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedcheck: %d words, %d reachable\n", r.Words, r.Reachable)
+	for _, c := range allChecks {
+		fmt.Fprintf(&b, "  %-14s %d\n", c, r.Counts[c])
+	}
+	return b.String()
+}
+
+// SourceMap resolves (instruction word, unit, beat) to the containing
+// function and source line, for diagnostics. See NewSourceMap.
+type SourceMap func(word int, unit mach.Unit, beat uint8) (fn string, line int)
+
+// Options configures a Check run.
+type Options struct {
+	// Src attributes findings to function + source line (optional).
+	Src SourceMap
+	// NoResource skips the port/bus/unit occupancy checks; it is forced for
+	// Ideal images, whose central register file has unbounded ports.
+	NoResource bool
+}
+
+// Check verifies the image and returns the report. It never modifies the
+// image.
+func Check(img *isa.Image, opts Options) *Report {
+	if img.Cfg.Ideal {
+		opts.NoResource = true
+	}
+	c := &checker{
+		img:  img,
+		cfg:  img.Cfg,
+		opts: opts,
+		rep:  &Report{Counts: map[string]int{}, Words: len(img.Instrs)},
+		seen: map[findKey]bool{},
+	}
+	c.buildCFG()
+	if !opts.NoResource {
+		c.checkResources()
+	}
+	c.flow()
+	sort.SliceStable(c.rep.Findings, func(i, j int) bool {
+		a, b := &c.rep.Findings[i], &c.rep.Findings[j]
+		if a.Word != b.Word {
+			return a.Word < b.Word
+		}
+		if a.Beat != b.Beat {
+			return a.Beat < b.Beat
+		}
+		return a.Check < b.Check
+	})
+	return c.rep
+}
+
+// findKey deduplicates findings: one report per (word, check, detail site).
+type findKey struct {
+	word  int
+	check string
+	site  string
+}
+
+type checker struct {
+	img  *isa.Image
+	cfg  mach.Config
+	opts Options
+	rep  *Report
+	seen map[findKey]bool
+
+	// CFG (built by buildCFG).
+	succ      [][]int
+	reachable []bool
+
+	// function table, sorted by base address
+	fnames []string
+	fbases []int
+	flens  []int
+}
+
+// report records a finding, deduplicating by (word, check, site).
+func (c *checker) report(check string, sev Severity, word, beat int, unit mach.Unit, haveUnit bool, site, format string, args ...any) {
+	k := findKey{word, check, site}
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	f := Finding{
+		Check: check, Sev: sev, Word: word, Beat: beat, Msg: fmt.Sprintf(format, args...),
+	}
+	if haveUnit {
+		f.Unit = unit.String()
+	}
+	f.Func = c.funcOf(word)
+	if c.opts.Src != nil && haveUnit && beat >= 0 {
+		fn, line := c.opts.Src(word, unit, uint8(beat))
+		if fn != "" {
+			f.Func = fn
+		}
+		f.Line = line
+	}
+	c.rep.Findings = append(c.rep.Findings, f)
+	c.rep.Counts[check]++
+}
+
+// funcOf names the function containing an instruction word.
+func (c *checker) funcOf(word int) string {
+	i := sort.SearchInts(c.fbases, word+1) - 1
+	if i < 0 || i >= len(c.fbases) {
+		return ""
+	}
+	if word >= c.fbases[i]+c.flens[i] {
+		return ""
+	}
+	return c.fnames[i]
+}
+
+// NewSourceMap builds a SourceMap from the linked image and the compiler's
+// per-function code (core.Result.Funcs): the word index is split into
+// (function, local instruction) via the link-time layout, and the slot is
+// matched by (unit, beat) against the pre-encode instruction, whose slots
+// carry source-line metadata.
+func NewSourceMap(img *isa.Image, funcs []*tsched.FuncCode) SourceMap {
+	byName := map[string]*tsched.FuncCode{}
+	for _, fc := range funcs {
+		byName[fc.Name] = fc
+	}
+	var names []string
+	var bases []int
+	for name, base := range img.FuncBase {
+		names = append(names, name)
+		_ = base
+	}
+	sort.Slice(names, func(i, j int) bool { return img.FuncBase[names[i]] < img.FuncBase[names[j]] })
+	for _, n := range names {
+		bases = append(bases, img.FuncBase[n])
+	}
+	return func(word int, unit mach.Unit, beat uint8) (string, int) {
+		i := sort.SearchInts(bases, word+1) - 1
+		if i < 0 {
+			return "", 0
+		}
+		name := names[i]
+		fc := byName[name]
+		if fc == nil {
+			return name, 0
+		}
+		local := word - bases[i]
+		if local < 0 || local >= len(fc.Instrs) {
+			return name, 0
+		}
+		for si := range fc.Instrs[local].Slots {
+			s := &fc.Instrs[local].Slots[si]
+			if s.Unit == unit && s.Beat == beat {
+				if si < len(fc.Lines[local]) {
+					return name, int(fc.Lines[local][si])
+				}
+				return name, 0
+			}
+		}
+		return name, 0
+	}
+}

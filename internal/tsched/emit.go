@@ -14,6 +14,11 @@ type FuncCode struct {
 	Name   string
 	Instrs []mach.Instr
 
+	// Lines[i][j] is the source line of Instrs[i].Slots[j] (0 = unknown),
+	// carried from the IR so post-link diagnostics (vliw traps, schedcheck
+	// findings) can name the source position of an op in a wide word.
+	Lines [][]int32
+
 	// Stats for the code-size and compensation experiments.
 	Ops       int // real (non-nop) operations
 	CompOps   int
@@ -40,6 +45,7 @@ func Emit(sf *SFunc, alloc map[VReg]mach.PReg) (*FuncCode, error) {
 	}
 
 	fc := &FuncCode{Name: sf.Name, Instrs: make([]mach.Instr, total),
+		Lines:   make([][]int32, total),
 		CompOps: sf.CompOps, CopyOps: sf.CopyOps, SpecLoads: sf.SpecLoads}
 
 	regOf := func(r VReg) (mach.PReg, error) {
@@ -97,6 +103,7 @@ func Emit(sf *SFunc, alloc map[VReg]mach.PReg) (*FuncCode, error) {
 					op.Sym = s.Op.Sym // resolved by the linker
 				}
 				dst.Slots = append(dst.Slots, mach.SlotOp{Unit: s.Unit, Beat: s.Beat, Op: op})
+				fc.Lines[base[id]+i] = append(fc.Lines[base[id]+i], int32(s.Op.Line))
 				if s.Op.Kind != ir.Nop {
 					fc.Ops++
 				}

@@ -587,7 +587,7 @@ func (s *scheduler) resourcesFree(op *schedOp, uc unitChoice, issue int) bool {
 				kind, beats = busFLoad, 2
 			}
 			for i := 0; i < beats; i++ {
-				if s.bus[[2]int{kind, wb - i}]+1 > s.busCap(kind) {
+				if s.bus[[2]int{kind, wb - i}]+1 > busCap(&s.cfg, kind) {
 					return false
 				}
 			}
@@ -612,7 +612,7 @@ func (s *scheduler) resourcesFree(op *schedOp, uc unitChoice, issue int) bool {
 			if s.vf.Class(o.Dst) == ClassF {
 				kind = busFLoad
 			}
-			if s.bus[[2]int{kind, issue + mach.StageData}]+1 > s.busCap(kind) {
+			if s.bus[[2]int{kind, issue + mach.StageData}]+1 > busCap(&s.cfg, kind) {
 				return false
 			}
 		}
@@ -672,16 +672,16 @@ func (s *scheduler) dstBoard(o *VOp, u mach.Unit) int {
 }
 
 // busCap returns the number of buses of the given kind.
-func (s *scheduler) busCap(kind int) int {
+func busCap(cfg *mach.Config, kind int) int {
 	switch kind {
 	case busILoad:
-		return s.cfg.ILoadBuses
+		return cfg.ILoadBuses
 	case busFLoad:
-		return s.cfg.FLoadBuses
+		return cfg.FLoadBuses
 	case busStore:
-		return s.cfg.StoreBuses
+		return cfg.StoreBuses
 	default:
-		return s.cfg.PABuses
+		return cfg.PABuses
 	}
 }
 

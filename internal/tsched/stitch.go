@@ -138,6 +138,7 @@ type serialState struct {
 	imm   map[[3]int]bool               // (instr, beat, pair) shared word used
 	reads map[[2]int]int                // (absBeat, board) register reads
 	wrs   map[[2]int]int                // (absBeat, board) register writes landing
+	bus   map[[2]int]int                // (busKind, absBeat) cross-board copy traffic
 
 	// ordering state: packing must not reorder hazardous pairs
 	floor    int          // entry padding boundary: no op before this
@@ -161,6 +162,7 @@ func newSerialState(floor int) *serialState {
 		imm:      map[[3]int]bool{},
 		reads:    map[[2]int]int{},
 		wrs:      map[[2]int]int{},
+		bus:      map[[2]int]int{},
 		floor:    floor,
 		lastRead: map[VReg]int{},
 		writeEnd: map[VReg]int{},
@@ -484,6 +486,26 @@ func (st *stitcher) placeSerial(sb *SBlock, op VOp, pair, minIdx int) int {
 				if ss.wrs[[2]int{wb, db}]+1 > st.cfg.RFWritePorts {
 					continue
 				}
+				// Cross-board results ride the tagged load buses (§6.3) — a
+				// machine-global resource the per-board port counts miss:
+				// with homes spread over four boards, the write ports admit
+				// eight retires per beat but only four bus deliveries.
+				if db != pair && !op.IsMem() {
+					kind, beats := busILoad, 1
+					if st.vf.Class(op.Dst) == ClassF {
+						kind, beats = busFLoad, 2
+					}
+					full := false
+					for i := 0; i < beats; i++ {
+						if ss.bus[[2]int{kind, wb - i}]+1 > busCap(&st.cfg, kind) {
+							full = true
+							break
+						}
+					}
+					if full {
+						continue
+					}
+				}
 			}
 			if isMem && ss.mem[[3]int{idx, int(c.b), pair}] {
 				continue
@@ -529,6 +551,15 @@ func (st *stitcher) placeSerial(sb *SBlock, op VOp, pair, minIdx int) int {
 					db = int(h)
 				}
 				ss.wrs[[2]int{wb, db}]++
+				if db != pair && !op.IsMem() {
+					kind, beats := busILoad, 1
+					if st.vf.Class(op.Dst) == ClassF {
+						kind, beats = busFLoad, 2
+					}
+					for i := 0; i < beats; i++ {
+						ss.bus[[2]int{kind, wb - i}]++
+					}
+				}
 			}
 			if op.Dst != VNone {
 				lat := opLatency(st.cfg, &op)

@@ -115,11 +115,14 @@ func (c TrapCode) String() string {
 
 // Fault is a hardware-detectable error: a resource conflict the compiler
 // should have prevented, or a memory violation. It carries the faulting
-// beat, PC, and — when the fault is raised while a slot executes — the
-// functional unit whose operation faulted.
+// instruction word index (the PC), beat, and — when the fault is raised
+// while a slot executes — the functional unit whose operation faulted. The
+// rendering uses the same word=/beat=/unit= vocabulary as schedcheck
+// findings (cmd/tracelint), so a dynamic trap and the static diagnosis of
+// the same defect cross-reference directly.
 type Fault struct {
 	Code TrapCode
-	PC   int
+	PC   int // faulting instruction word index
 	Beat int64
 	Unit string // functional unit of the faulting op ("" outside execution)
 	Msg  string
@@ -127,9 +130,9 @@ type Fault struct {
 
 func (f *Fault) Error() string {
 	if f.Unit != "" {
-		return fmt.Sprintf("machine fault [%s] at pc=%d beat=%d unit=%s: %s", f.Code, f.PC, f.Beat, f.Unit, f.Msg)
+		return fmt.Sprintf("machine fault [%s] at word=%d beat=%d unit=%s: %s", f.Code, f.PC, f.Beat, f.Unit, f.Msg)
 	}
-	return fmt.Sprintf("machine fault [%s] at pc=%d beat=%d: %s", f.Code, f.PC, f.Beat, f.Msg)
+	return fmt.Sprintf("machine fault [%s] at word=%d beat=%d: %s", f.Code, f.PC, f.Beat, f.Msg)
 }
 
 // ErrCycleLimit reports that execution exceeded the machine's hard cycle
@@ -160,6 +163,7 @@ type pendingWrite struct {
 	beat int64
 	dst  mach.PReg
 	val  uint64
+	pc   int  // instruction word that issued the write, for fault attribution
 	spec bool // for stats
 }
 
@@ -604,17 +608,18 @@ func (m *Machine) dtlbMiss(ea int64) bool {
 // destination register is specified when the operation is initiated, and a
 // hardware control pipeline carries the destination forward", §6.2).
 func (m *Machine) applyWrites() error {
-	written := map[mach.PReg]bool{}
+	written := map[mach.PReg]int{} // dst -> issuing word, for race attribution
 	kept := m.pending[:0]
 	for _, w := range m.pending {
 		if w.beat > m.beat {
 			kept = append(kept, w)
 			continue
 		}
-		if written[w.dst] {
-			return m.fault(TrapWriteRace, "write-write race on %s", w.dst)
+		if first, ok := written[w.dst]; ok {
+			return m.fault(TrapWriteRace, "write-write race on %s: writes issued at word %d and word %d retire together",
+				w.dst, first, w.pc)
 		}
-		written[w.dst] = true
+		written[w.dst] = w.pc
 		val := w.val
 		if m.InjectWrite != nil {
 			val = m.InjectWrite(m.beat, w.dst, val)
@@ -672,7 +677,7 @@ func (m *Machine) enqueue(dst mach.PReg, val uint64, lat int) {
 	if !dst.Valid() {
 		return
 	}
-	m.pending = append(m.pending, pendingWrite{beat: m.beat + int64(lat), dst: dst, val: val})
+	m.pending = append(m.pending, pendingWrite{beat: m.beat + int64(lat), dst: dst, val: val, pc: m.pc})
 }
 
 // eaOf computes a memory op's effective address (A + B).

@@ -19,6 +19,11 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== tracelint (static schedule verification: examples x O0/O1/O2 x Trace 7/14/28)"
+go run ./cmd/tracelint -matrix examples/*.mf
+echo "== tracelint (checked-in fuzz corpus)"
+go run ./cmd/tracelint -corpus internal/fuzz/testdata/fuzz/FuzzDifferential/*
+
 echo "== tracefuzz smoke (deterministic differential run)"
 go run ./cmd/tracefuzz -seed 1 -n 200
 

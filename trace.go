@@ -73,6 +73,10 @@ type Options struct {
 	// Verify validates the IR after every compiler pass, so a broken pass
 	// fails at its own boundary instead of as a mystery scheduler error.
 	Verify bool
+	// Lint statically verifies the linked image against the no-interlock
+	// schedule contract (see cmd/tracelint) as a final compiler stage; any
+	// error-severity finding fails the compilation.
+	Lint bool
 	// TimePasses prints the per-pass timing/size report to stderr after
 	// compilation (also always available as Result.Report).
 	TimePasses bool
@@ -162,7 +166,7 @@ func (o Options) toCore() core.Options {
 	}
 	return core.Options{
 		Config: cfg, Opt: lvl, Profile: prof, MaxTraceBlocks: maxBlocks,
-		Verify: o.Verify, TimePasses: o.TimePasses, DumpIR: o.DumpIR, Parallelism: o.Parallelism,
+		Verify: o.Verify, Lint: o.Lint, TimePasses: o.TimePasses, DumpIR: o.DumpIR, Parallelism: o.Parallelism,
 	}
 }
 
