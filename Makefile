@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race bench build
+.PHONY: check fmt vet test race bench bench-sim build
 
 check: fmt vet race
 
@@ -28,3 +28,8 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
+
+# Tracked simulator benchmark: fixed -benchtime/-count, JSON vs the seed
+# baseline (scripts/bench_baseline.txt) written to BENCH_sim.json.
+bench-sim:
+	sh scripts/bench.sh

@@ -389,13 +389,45 @@ func BenchmarkCompileParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator measures raw simulation speed in beats/second.
+// BenchmarkSimulator measures raw simulation speed of the checked
+// interpreter in beats/second. One machine is reused across iterations via
+// Reset, so the number measures execution, not memory allocation.
 func BenchmarkSimulator(b *testing.B) {
 	res := mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	m := NewMachine(res)
 	var beats int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		beats += simBeats(b, res)
+		m.Reset(res.Image)
+		if _, _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		beats += m.Stats.Beats
+	}
+	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
+}
+
+// BenchmarkSimulatorFast measures the certified fast path on the same
+// workload: the image is certified once (outside the timed region) and the
+// machine skips the per-beat dynamic resource and race checks.
+func BenchmarkSimulatorFast(b *testing.B) {
+	res := mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	cert, err := Certify(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMachine(res)
+	var beats int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(res.Image)
+		if err := m.UseCertificate(cert); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		beats += m.Stats.Beats
 	}
 	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
 }

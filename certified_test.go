@@ -1,0 +1,65 @@
+// Differential test of the certified fast path: for every example program,
+// optimization level, and machine width, the checked interpreter and the
+// certified fast path must produce byte-identical results — same exit
+// value, same printed output, and the same value in every Stats counter.
+// The fast path skips checking, never timing: any divergence here means the
+// two execution modes disagree about the machine itself.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFastCheckedAgree(t *testing.T) {
+	mfs, err := filepath.Glob("examples/*.mf")
+	if err != nil || len(mfs) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	configs := []Config{Trace7(), Trace14(), Trace28()}
+	levels := []struct {
+		name string
+		lvl  OptLevel
+	}{{"O0", OptNone}, {"O1", OptLight}, {"O2", OptFull}}
+
+	for _, mf := range mfs {
+		src, err := os.ReadFile(mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range configs {
+			for _, lv := range levels {
+				name := fmt.Sprintf("%s/%s/%s", filepath.Base(mf), cfg.Name, lv.name)
+				t.Run(name, func(t *testing.T) {
+					res, err := Compile(string(src), Options{Config: cfg, OptLevel: lv.lvl})
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+
+					cv, cout, cst, cerr := Run(res)
+					fv, fout, fst, ferr := RunFast(res)
+					if (cerr == nil) != (ferr == nil) {
+						t.Fatalf("trap disagreement: checked err=%v, fast err=%v", cerr, ferr)
+					}
+					if cerr != nil {
+						if cerr.Error() != ferr.Error() {
+							t.Fatalf("different faults: checked %v, fast %v", cerr, ferr)
+						}
+						return
+					}
+					if cv != fv {
+						t.Fatalf("exit: checked %d, fast %d", cv, fv)
+					}
+					if cout != fout {
+						t.Fatalf("output: checked %q, fast %q", cout, fout)
+					}
+					if *cst != *fst {
+						t.Fatalf("stats diverged:\nchecked: %+v\nfast:    %+v", *cst, *fst)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document suitable for committing as a tracked benchmark baseline
+// (BENCH_sim.json). Each benchmark's runs are averaged per metric; when a
+// -baseline file (raw bench output of an earlier build) is given, the
+// report also carries the old numbers and the ns/op speedup for every
+// benchmark present in both.
+//
+// Usage:
+//
+//	go test -bench Simulator -benchmem -count=3 . | benchjson -baseline old.txt -o BENCH_sim.json
+//	benchjson [-baseline old.txt] [-o out.json] [bench-output.txt]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's metrics, averaged over its -count runs.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> mean value
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Baseline   []Benchmark        `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup_ns_per_op,omitempty"` // baseline ns/op ÷ new ns/op
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "raw bench output of the build to compare against")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-baseline old.txt] [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Speedup = map[string]float64{}
+		for _, nb := range rep.Benchmarks {
+			for _, ob := range base.Benchmarks {
+				if ob.Name == nb.Name && nb.Metrics["ns/op"] > 0 {
+					rep.Speedup[nb.Name] = round2(ob.Metrics["ns/op"] / nb.Metrics["ns/op"])
+				}
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads raw `go test -bench` output: header key: value lines, then
+// result lines of the form
+//
+//	BenchmarkName-8   115   21650178 ns/op   790063 beats/s   39283 allocs/op
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	type acc struct {
+		runs int
+		sums map[string]float64
+	}
+	byName := map[string]*acc{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			fields := strings.Fields(line)
+			if len(fields) < 4 || len(fields)%2 != 0 {
+				continue
+			}
+			// Strip the -GOMAXPROCS suffix so runs group across machines.
+			name := fields[0]
+			if i := strings.LastIndex(name, "-"); i > 0 {
+				if _, err := strconv.Atoi(name[i+1:]); err == nil {
+					name = name[:i]
+				}
+			}
+			a := byName[name]
+			if a == nil {
+				a = &acc{sums: map[string]float64{}}
+				byName[name] = a
+				order = append(order, name)
+			}
+			a.runs++
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+				}
+				a.sums[fields[i+1]] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	for _, name := range order {
+		a := byName[name]
+		b := Benchmark{Name: name, Runs: a.runs, Metrics: map[string]float64{}}
+		for unit, sum := range a.sums {
+			b.Metrics[unit] = round2(sum / float64(a.runs))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+	return rep, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

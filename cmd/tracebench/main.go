@@ -7,6 +7,7 @@
 //	tracebench -exp e1     run one experiment (e1..e12, f1)
 //	tracebench -list       list experiments
 //	tracebench -j N        bound the compiler's backend worker pool
+//	tracebench -fast       simulate on the certified fast path (same tables)
 package main
 
 import (
@@ -21,8 +22,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, f1, all)")
 	list := flag.Bool("list", false, "list experiments")
 	jobs := flag.Int("j", 0, "compiler backend worker pool size (0 = one per CPU, 1 = sequential)")
+	fast := flag.Bool("fast", false, "simulate on the certified fast path (tables are identical)")
 	flag.Parse()
 	xp.Parallelism = *jobs
+	xp.Fast = *fast
 
 	if *list {
 		for _, e := range xp.Registry() {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-v]
+//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-v]
 //
 // The run is deterministic: the same -seed and -n always test the same
 // programs, and a reported seed is a complete reproduction recipe.
@@ -33,13 +33,14 @@ func main() {
 	n := flag.Int64("n", 500, "number of consecutive seeds to test")
 	jobs := flag.Int("j", 0, "worker pool size (0 = one per CPU)")
 	refSteps := flag.Int64("ref-steps", 0, "reference interpreter op budget (0 = default)")
+	fast := flag.Bool("fast", false, "run images on the certified fast path (lint stage carries the legality burden)")
 	verbose := flag.Bool("v", false, "print every seed's outcome")
 	flag.Parse()
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()
 	}
 
-	opts := fuzz.Options{RefSteps: *refSteps}
+	opts := fuzz.Options{RefSteps: *refSteps, Fast: *fast}
 	seeds := make(chan int64)
 	results := make(chan outcome)
 	var wg sync.WaitGroup

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
-//	         [-trace] [-baselines] [-max-cycles N] prog.mf
+//	         [-trace] [-baselines] [-fast|-checked] [-max-cycles N] prog.mf
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
@@ -30,7 +31,13 @@ func main() {
 	timePasses := flag.Bool("time-passes", false, "print per-pass compile timing to stderr")
 	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
+	fast := flag.Bool("fast", false, "certify the image statically and skip dynamic resource checks")
+	checked := flag.Bool("checked", true, "run with per-beat dynamic resource checking (the default)")
 	flag.Parse()
+	if *fast && isFlagSet("checked") && *checked {
+		fmt.Fprintln(os.Stderr, "tracesim: -fast and -checked are mutually exclusive")
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf")
 		os.Exit(2)
@@ -65,6 +72,15 @@ func main() {
 	m := vliw.New(res.Image)
 	if *maxCycles > 0 {
 		m.CycleLimit = *maxCycles
+	}
+	if *fast {
+		cert, err := schedcheck.Certify(res.Image)
+		if err != nil {
+			fatal(fmt.Errorf("-fast: %w", err))
+		}
+		if err := m.UseCertificate(cert); err != nil {
+			fatal(err)
+		}
 	}
 	if *traceExec {
 		last := -2
@@ -120,4 +136,16 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracesim:", err)
 	os.Exit(1)
+}
+
+// isFlagSet reports whether the named flag was given explicitly, so the
+// default -checked=true does not conflict with -fast.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

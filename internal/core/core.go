@@ -215,6 +215,34 @@ func Run(res *Result) (int32, string, *vliw.Stats, error) {
 	return v, out, &m.Stats, err
 }
 
+// Certify statically verifies the compiled image and mints the certificate
+// that authorizes the simulator's fast path. When the compile already ran
+// the lint stage (Options.Lint), its report is reused instead of
+// re-analyzing the image.
+func Certify(res *Result) (*schedcheck.Certificate, error) {
+	if res.Lint != nil {
+		return res.Lint.Certify()
+	}
+	return schedcheck.Certify(res.Image)
+}
+
+// RunFast executes the compiled image on the certified fast path: the image
+// is statically verified once, then the machine skips its per-beat dynamic
+// resource and write-race checks. Results (exit value, output, statistics)
+// are identical to Run; only the checking mode differs.
+func RunFast(res *Result) (int32, string, *vliw.Stats, error) {
+	cert, err := Certify(res)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	m := vliw.New(res.Image)
+	if err := m.UseCertificate(cert); err != nil {
+		return 0, "", nil, err
+	}
+	v, out, err := m.Run()
+	return v, out, &m.Stats, err
+}
+
 // RunSource is the one-call convenience: compile and run, returning the
 // machine too for stats inspection.
 func RunSource(src string, opts Options) (int32, string, *vliw.Machine, error) {

@@ -3,9 +3,11 @@ package fuzz
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
 	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/isa"
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
@@ -40,6 +42,41 @@ type Options struct {
 	RefSteps int64
 	// MaxCycles bounds each VLIW run (default scales with the reference).
 	MaxCycles int64
+	// Fast runs each image on the certified fast path: the lint stage's
+	// clean report is minted into a schedcheck.Certificate and the machine
+	// skips its dynamic resource/race checks. The default (checked) mode is
+	// the stronger oracle — it cross-checks the static verifier against the
+	// dynamic one — so Fast is for throughput-oriented campaigns where the
+	// lint stage alone carries the legality burden.
+	Fast bool
+}
+
+// machinePool recycles simulator machines across oracle runs. A machine
+// owns multi-megabyte memory and TLB/itag arrays; reallocating them for
+// every (input × matrix config) run dominated the oracle's allocation
+// profile, so runs borrow a machine and Reset it onto each image instead.
+var machinePool = sync.Pool{New: func() any { return new(vliw.Machine) }}
+
+// runImage executes one linked image on a pooled machine. When fast is set,
+// rep (the clean lint report for exactly this image) is minted into a
+// certificate authorizing the machine's fast path; a report that cannot
+// certify after a clean lint is itself a schedcheck bug and is returned as
+// the run error so the oracle flags it.
+func runImage(img *isa.Image, rep *schedcheck.Report, maxCycles int64, fast bool) (int32, string, error) {
+	m := machinePool.Get().(*vliw.Machine)
+	defer machinePool.Put(m)
+	m.Reset(img)
+	m.CycleLimit = maxCycles
+	if fast {
+		cert, err := rep.Certify()
+		if err != nil {
+			return 0, "", fmt.Errorf("lint passed but certification failed: %w", err)
+		}
+		if err := m.UseCertificate(cert); err != nil {
+			return 0, "", err
+		}
+	}
+	return m.Run()
 }
 
 // matrix is the compile-and-run settings every input is checked across:
@@ -101,12 +138,11 @@ func Check(src string, o Options) error {
 			return &Divergence{Stage: "compile", Config: m.name,
 				Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
 		}
-		if d := checkArtifact(res, m.name, src); d != nil {
+		rep, d := checkArtifact(res, m.name, src)
+		if d != nil {
 			return d
 		}
-		mach := vliw.New(res.Image)
-		mach.CycleLimit = maxCycles
-		gotV, gotOut, err := mach.Run()
+		gotV, gotOut, err := runImage(res.Image, rep, maxCycles, o.Fast)
 		if err != nil {
 			return &Divergence{Stage: "trap", Config: m.name,
 				Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", err), Src: src}
@@ -124,7 +160,7 @@ func Check(src string, o Options) error {
 	// Full optimization on the widest machine, sequential and parallel
 	// backends: run the sequential image against the reference, then require
 	// the 4-worker build to be byte-identical.
-	return checkO2(src, wantV, wantOut, maxCycles)
+	return checkO2(src, wantV, wantOut, maxCycles, o.Fast)
 }
 
 // checkArtifact statically verifies every artifact a successful compile
@@ -132,20 +168,22 @@ func Check(src string, o Options) error {
 // and the linked image must pass schedcheck. The simulator then runs the
 // same image, so a schedule that lints clean but traps dynamically (or vice
 // versa) surfaces as a pair of contradictory findings — itself a bug in one
-// of the two implementations of the legality rules.
-func checkArtifact(res *core.Result, config, src string) *Divergence {
+// of the two implementations of the legality rules. On success it returns
+// the clean report, which Options.Fast mints into a certificate instead of
+// re-running the analysis.
+func checkArtifact(res *core.Result, config, src string) (*schedcheck.Report, *Divergence) {
 	if err := res.OptIR.Validate(); err != nil {
-		return &Divergence{Stage: "ir-validate", Config: config,
+		return nil, &Divergence{Stage: "ir-validate", Config: config,
 			Detail: fmt.Sprintf("optimized IR fails validation after a clean compile: %v", err), Src: src}
 	}
 	rep := schedcheck.Check(res.Image, schedcheck.Options{
 		Src: schedcheck.NewSourceMap(res.Image, res.Funcs),
 	})
 	if err := rep.Err(); err != nil {
-		return &Divergence{Stage: "lint", Config: config,
+		return nil, &Divergence{Stage: "lint", Config: config,
 			Detail: fmt.Sprintf("compiled image fails static schedule verification: %v", err), Src: src}
 	}
-	return nil
+	return rep, nil
 }
 
 // isCapacityReject reports whether err is one of the compiler's structured
@@ -160,7 +198,7 @@ func isCapacityReject(err error) bool {
 // checkO2 compiles at full optimization for Trace 28 with a sequential and a
 // 4-worker backend, checks the sequential image against the reference result,
 // and requires the parallel build to be byte-identical to the sequential one.
-func checkO2(src string, wantV int32, wantOut string, maxCycles int64) error {
+func checkO2(src string, wantV int32, wantOut string, maxCycles int64, fast bool) error {
 	opts := func(jobs int) core.Options {
 		return core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: jobs}
 	}
@@ -172,12 +210,11 @@ func checkO2(src string, wantV int32, wantOut string, maxCycles int64) error {
 		return &Divergence{Stage: "compile", Config: "trace28/O2/j1",
 			Detail: fmt.Sprintf("reference accepted the program but compilation failed: %v", err), Src: src}
 	}
-	if d := checkArtifact(seq, "trace28/O2/j1", src); d != nil {
+	rep, d := checkArtifact(seq, "trace28/O2/j1", src)
+	if d != nil {
 		return d
 	}
-	m := vliw.New(seq.Image)
-	m.CycleLimit = maxCycles
-	gotV, gotOut, rerr := m.Run()
+	gotV, gotOut, rerr := runImage(seq.Image, rep, maxCycles, fast)
 	if rerr != nil {
 		return &Divergence{Stage: "trap", Config: "trace28/O2/j1",
 			Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", rerr), Src: src}

@@ -47,6 +47,8 @@ type Config struct {
 	// every beat (IALUs) or every instruction (F units); divides occupy the
 	// multiplier.
 	LatIALU int // 1
+	LatIMul int // 4: 32-bit multiply composed from the §6.1 16-bit primitives
+	LatIDiv int // 30: no divide hardware; iterative op occupying its ALU (Div and Rem)
 	LatFAdd int // 6 (64-bit mode)
 	LatFMul int // 7
 	LatFDiv int // 25 (multiplier busy throughout)
@@ -114,6 +116,8 @@ func NewConfig(pairs int) Config {
 		BankBusyBeats:      4,
 
 		LatIALU: 1,
+		LatIMul: 4,
+		LatIDiv: 30,
 		LatFAdd: 6,
 		LatFMul: 7,
 		LatFDiv: 25,
@@ -211,6 +215,9 @@ func (c Config) Validate() error {
 	}
 	if c.IRegsPerBank < 8 || c.FRegsPerBank < 4 || c.StoreFile < 2 || c.BranchBank < 1 {
 		return fmt.Errorf("mach: register file sizes too small")
+	}
+	if c.LatIMul < 1 || c.LatIDiv < 1 {
+		return fmt.Errorf("mach: integer multiply/divide latencies must be positive")
 	}
 	return nil
 }

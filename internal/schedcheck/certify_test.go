@@ -1,0 +1,62 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/mach"
+)
+
+func TestCertifyCleanImage(t *testing.T) {
+	img := image(mach.Trace7(), defRVI(), haltInstr())
+	cert, err := Certify(img)
+	if err != nil {
+		t.Fatalf("Certify(clean image): %v", err)
+	}
+	if cert.CertifiedImage() != img {
+		t.Fatalf("certificate covers %p, want %p", cert.CertifiedImage(), img)
+	}
+	if cert.Report() == nil || cert.Report().Err() != nil {
+		t.Fatalf("certificate report should be error-free")
+	}
+}
+
+func TestCertifyRejectsIllegalSchedule(t *testing.T) {
+	// Stale read: load latency shadow violated in the next word.
+	load := mach.Instr{Slots: []mach.SlotOp{
+		ialuSlot(0, 0, mach.Op{Kind: ir.Load, Type: ir.I32, Dst: ireg(5), A: regArg(mach.RegSP), B: immArg(-8)}),
+	}}
+	use := mach.Instr{Slots: []mach.SlotOp{
+		ialuSlot(0, 0, mach.Op{Kind: ir.Add, Type: ir.I32, Dst: mach.RegRVI, A: regArg(ireg(5)), B: immArg(1)}),
+	}}
+	img := image(mach.Trace7(), load, use, haltInstr())
+	cert, err := Certify(img)
+	if err == nil {
+		t.Fatalf("Certify accepted an image with a stale read")
+	}
+	if cert != nil {
+		t.Fatalf("failed Certify returned a non-nil certificate")
+	}
+	if !strings.Contains(err.Error(), "stale-read") {
+		t.Fatalf("error does not name the finding: %v", err)
+	}
+}
+
+func TestCertifyToleratesWarnings(t *testing.T) {
+	// Unreachable code is a warning, not an error: still certifiable.
+	img := image(mach.Trace7(), defRVI(), haltInstr(), haltInstr())
+	rep := Check(img, Options{})
+	if n := counts(t, rep, CheckUnreachable); n == 0 {
+		t.Fatalf("expected an unreachable warning to set up the test")
+	}
+	if _, err := rep.Certify(); err != nil {
+		t.Fatalf("warnings blocked certification: %v", err)
+	}
+}
+
+func TestReportCertifyRequiresImage(t *testing.T) {
+	if _, err := (&Report{}).Certify(); err == nil {
+		t.Fatalf("Certify on an imageless report should fail")
+	}
+}

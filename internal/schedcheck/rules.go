@@ -28,9 +28,9 @@ func writeLatency(cfg mach.Config, o *mach.Op) int {
 	case ir.FDiv:
 		return cfg.LatFDiv
 	case ir.Mul:
-		return 4
+		return cfg.LatIMul
 	case ir.Div, ir.Rem:
-		return 30
+		return cfg.LatIDiv
 	case ir.ConstF:
 		return 2
 	case ir.Mov, mach.OpMovSF:

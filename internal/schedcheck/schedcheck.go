@@ -146,6 +146,8 @@ type Report struct {
 	Counts    map[string]int
 	Words     int // instruction words in the image
 	Reachable int // words reachable from the entry point
+
+	img *isa.Image // the image Check analyzed (for Certify)
 }
 
 // Errors returns the error-severity findings.
@@ -222,7 +224,7 @@ func Check(img *isa.Image, opts Options) *Report {
 		img:  img,
 		cfg:  img.Cfg,
 		opts: opts,
-		rep:  &Report{Counts: map[string]int{}, Words: len(img.Instrs)},
+		rep:  &Report{Counts: map[string]int{}, Words: len(img.Instrs), img: img},
 		seen: map[findKey]bool{},
 	}
 	c.buildCFG()

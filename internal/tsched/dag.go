@@ -641,11 +641,11 @@ func opLatency(cfg mach.Config, o *VOp) int {
 		return cfg.LatFDiv
 	case ir.Mul:
 		// 32-bit integer multiply is composed from the 16-bit primitives of
-		// §6.1; modeled as one 4-beat op (see DESIGN.md substitutions)
-		return 4
+		// §6.1; modeled as one multi-beat op (see DESIGN.md substitutions)
+		return cfg.LatIMul
 	case ir.Div, ir.Rem:
-		// no integer divide hardware; modeled as a 30-beat iterative op
-		return 30
+		// no integer divide hardware; modeled as an iterative op
+		return cfg.LatIDiv
 	case ir.ConstF:
 		return 2 // two 32-bit immediate halves
 	case ir.Mov, mach.OpMovSF:

@@ -23,9 +23,9 @@ func latency(cfg mach.Config, o *mach.Op) int {
 	case ir.FDiv:
 		return cfg.LatFDiv
 	case ir.Mul:
-		return 4
+		return cfg.LatIMul
 	case ir.Div, ir.Rem:
-		return 30
+		return cfg.LatIDiv
 	case ir.ConstF:
 		return 2
 	case ir.Mov, mach.OpMovSF:
@@ -81,113 +81,112 @@ func (m *Machine) execBranch(o *mach.Op) (int, *int32, error) {
 	return -1, nil, m.fault(TrapBadOp, "%s on branch unit", mach.OpName(o.Kind))
 }
 
-// execOp executes one ALU/F/memory operation, enqueuing its register write
-// at issue+latency.
-func (m *Machine) execOp(o *mach.Op) error {
-	cfg := m.Cfg
-	lat := latency(cfg, o)
-	seti := func(v int32) { m.enqueue(o.Dst, uint64(uint32(v)), lat) }
-	setf := func(v float64) { m.enqueue(o.Dst, math.Float64bits(v), lat) }
-	setb := func(v bool) {
-		if v {
-			seti(1)
-		} else {
-			seti(0)
-		}
+// iBits, fBits, and bBits pack result values for the register-write
+// pipeline. They replace the per-op seti/setf/setb closures the old
+// dispatch allocated on every operation: execOp now writes its result with
+// one direct enqueue per case.
+func iBits(v int32) uint64   { return uint64(uint32(v)) }
+func fBits(v float64) uint64 { return math.Float64bits(v) }
+func bBits(v bool) uint64 {
+	if v {
+		return 1
 	}
-	a := func() int32 { return m.readI(o.A) }
-	b := func() int32 { return m.readI(o.B) }
-	fa := func() float64 { return m.readF(o.A) }
-	fb := func() float64 { return m.readF(o.B) }
+	return 0
+}
 
+// execOp executes one ALU/F/memory operation, enqueuing its register write
+// at issue+lat. The latency is precomputed by the plan (plan.go) so the
+// timing model is evaluated once per image, not once per executed op.
+func (m *Machine) execOp(o *mach.Op, lat int) error {
 	switch o.Kind {
 	case ir.Nop:
 	case ir.ConstI:
-		seti(m.readI(o.A))
+		m.enqueue(o.Dst, iBits(m.readI(o.A)), lat)
 	case ir.ConstF:
-		setf(o.FImm)
+		m.enqueue(o.Dst, fBits(o.FImm), lat)
 	case ir.Mov, mach.OpMovSF:
 		m.enqueue(o.Dst, m.readArg(o.A), lat)
 	case ir.Add:
-		seti(a() + b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)+m.readI(o.B)), lat)
 	case ir.Sub:
-		seti(a() - b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)-m.readI(o.B)), lat)
 	case ir.Mul:
-		seti(a() * b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)*m.readI(o.B)), lat)
 	case ir.Div:
-		d := b()
+		d := m.readI(o.B)
 		if d == 0 {
 			return m.fault(TrapDivZero, "integer divide by zero")
 		}
-		seti(a() / d)
+		m.enqueue(o.Dst, iBits(m.readI(o.A)/d), lat)
 	case ir.Rem:
-		d := b()
+		d := m.readI(o.B)
 		if d == 0 {
 			return m.fault(TrapDivZero, "integer remainder by zero")
 		}
-		seti(a() % d)
+		m.enqueue(o.Dst, iBits(m.readI(o.A)%d), lat)
 	case ir.And:
-		seti(a() & b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)&m.readI(o.B)), lat)
 	case ir.Or:
-		seti(a() | b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)|m.readI(o.B)), lat)
 	case ir.Xor:
-		seti(a() ^ b())
+		m.enqueue(o.Dst, iBits(m.readI(o.A)^m.readI(o.B)), lat)
 	case ir.Shl:
-		seti(a() << (uint32(b()) & 31))
+		m.enqueue(o.Dst, iBits(m.readI(o.A)<<(uint32(m.readI(o.B))&31)), lat)
 	case ir.Shr:
-		seti(int32(uint32(a()) >> (uint32(b()) & 31)))
+		m.enqueue(o.Dst, iBits(int32(uint32(m.readI(o.A))>>(uint32(m.readI(o.B))&31))), lat)
 	case ir.Sra:
-		seti(a() >> (uint32(b()) & 31))
+		m.enqueue(o.Dst, iBits(m.readI(o.A)>>(uint32(m.readI(o.B))&31)), lat)
 	case ir.Neg:
-		seti(-a())
+		m.enqueue(o.Dst, iBits(-m.readI(o.A)), lat)
 	case ir.Not:
-		seti(^a())
+		m.enqueue(o.Dst, iBits(^m.readI(o.A)), lat)
 	case ir.CmpEQ:
-		setb(a() == b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) == m.readI(o.B)), lat)
 	case ir.CmpNE:
-		setb(a() != b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) != m.readI(o.B)), lat)
 	case ir.CmpLT:
-		setb(a() < b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) < m.readI(o.B)), lat)
 	case ir.CmpLE:
-		setb(a() <= b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) <= m.readI(o.B)), lat)
 	case ir.CmpGT:
-		setb(a() > b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) > m.readI(o.B)), lat)
 	case ir.CmpGE:
-		setb(a() >= b())
+		m.enqueue(o.Dst, bBits(m.readI(o.A) >= m.readI(o.B)), lat)
 	case ir.FAdd:
 		m.Stats.FloatOps++
-		setf(fa() + fb())
+		m.enqueue(o.Dst, fBits(m.readF(o.A)+m.readF(o.B)), lat)
 	case ir.FSub:
 		m.Stats.FloatOps++
-		setf(fa() - fb())
+		m.enqueue(o.Dst, fBits(m.readF(o.A)-m.readF(o.B)), lat)
 	case ir.FMul:
 		m.Stats.FloatOps++
-		setf(fa() * fb())
+		m.enqueue(o.Dst, fBits(m.readF(o.A)*m.readF(o.B)), lat)
 	case ir.FDiv:
 		m.Stats.FloatOps++
-		setf(fa() / fb()) // fast mode: NaN/Inf propagate, no trap (§7)
+		// fast mode: NaN/Inf propagate, no trap (§7)
+		m.enqueue(o.Dst, fBits(m.readF(o.A)/m.readF(o.B)), lat)
 	case ir.FNeg:
-		setf(-fa())
+		m.enqueue(o.Dst, fBits(-m.readF(o.A)), lat)
 	case ir.FCmpEQ:
-		setb(fa() == fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) == m.readF(o.B)), lat)
 	case ir.FCmpNE:
-		setb(fa() != fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) != m.readF(o.B)), lat)
 	case ir.FCmpLT:
-		setb(fa() < fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) < m.readF(o.B)), lat)
 	case ir.FCmpLE:
-		setb(fa() <= fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) <= m.readF(o.B)), lat)
 	case ir.FCmpGT:
-		setb(fa() > fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) > m.readF(o.B)), lat)
 	case ir.FCmpGE:
-		setb(fa() >= fb())
+		m.enqueue(o.Dst, bBits(m.readF(o.A) >= m.readF(o.B)), lat)
 	case ir.ItoF:
-		setf(float64(a()))
+		m.enqueue(o.Dst, fBits(float64(m.readI(o.A))), lat)
 	case ir.FtoI:
-		v := fa()
+		v := m.readF(o.A)
 		if math.IsNaN(v) || v > math.MaxInt32 || v < math.MinInt32 {
-			seti(int32(ir.FunnyI32))
+			m.enqueue(o.Dst, iBits(int32(ir.FunnyI32)), lat)
 		} else {
-			seti(int32(v))
+			m.enqueue(o.Dst, iBits(int32(v)), lat)
 		}
 	case ir.Select:
 		// condition from the branch bank (A); B = then, C = else
@@ -275,50 +274,8 @@ func (m *Machine) touchBank(ea int64) {
 	m.bankBusy[id] = m.beat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
 }
 
-// checkBeatResources verifies the §6 static resource plan for one beat of
-// the instruction: ALU slot uniqueness, register-file port limits, bus
-// counts, and the one-reference-per-I-board rule. Any overflow is a
-// compiler bug surfacing as a hardware fault.
-func (m *Machine) checkBeatResources(in *mach.Instr, beat uint8) error {
-	reads := map[uint8]int{}
-	memPerBoard := map[uint8]int{}
-	pa := 0
-	units := map[mach.Unit]bool{}
-	for si := range in.Slots {
-		s := &in.Slots[si]
-		if s.Beat != beat {
-			continue
-		}
-		key := s.Unit
-		if s.Unit.Kind == mach.UIALU {
-			// distinct (unit, beat) handled by Beat filter
-		}
-		if units[key] {
-			return m.fault(TrapResource, "two ops on unit %s in one beat", s.Unit)
-		}
-		units[key] = true
-		for _, a := range []mach.Arg{s.Op.A, s.Op.B, s.Op.C} {
-			if !a.IsImm && a.Reg.Valid() {
-				reads[s.Unit.Pair]++
-			}
-		}
-		if isMemOp(s.Op.Kind) {
-			memPerBoard[s.Unit.Pair]++
-			pa++
-		}
-	}
-	for b, n := range reads {
-		if n > m.Cfg.RFReadPorts {
-			return m.fault(TrapResource, "board %d: %d register reads in one beat (max %d)", b, n, m.Cfg.RFReadPorts)
-		}
-	}
-	for b, n := range memPerBoard {
-		if n > 1 {
-			return m.fault(TrapResource, "board %d initiated %d memory references in one beat", b, n)
-		}
-	}
-	if pa > m.Cfg.PABuses {
-		return m.fault(TrapResource, "%d physical-address bus uses in one beat (max %d)", pa, m.Cfg.PABuses)
-	}
-	return nil
-}
+// The §6 per-beat resource check (ALU slot uniqueness, register-file port
+// limits, bus counts, one reference per I board) depends only on the
+// instruction word, so it is precomputed per word by the plan pre-decoder
+// (staticBeatViolation in plan.go); the checked interpreter consults the
+// stored verdict each beat and the certified fast path skips it.

@@ -182,11 +182,22 @@ type Machine struct {
 	pc      int
 	beat    int64
 	pending []pendingWrite
+	retired []pendingWrite // scratch: writes retired this beat (race check)
 	out     bytes.Buffer
 	halted  bool
 	exit    int32
 
-	bankBusy map[int]int64 // bank id -> busy until beat
+	// plan is the pre-decoded execution plan for Img (see plan.go): per-beat
+	// slot lists, precomputed latencies and unit names, the memory-reference
+	// prescan list, and the per-word static resource verdicts.
+	plan []planWord
+	// fast is the certified fast path: set via UseCertificate after a static
+	// verifier proved the image legal, it skips dynamic resource checking
+	// and write-race detection. PC bounds, memory bounds/alignment, and
+	// divide-by-zero guards remain live.
+	fast bool
+
+	bankBusy [64]int64 // (controller*8 + bank) -> busy until beat
 
 	// I/O processor DMA stream (§8.3), active when dmaRate > 0.
 	dmaRate   float64 // bytes per second
@@ -209,8 +220,6 @@ type Machine struct {
 	// the real machine tags entries so "no purging is necessary").
 	FlushOnSwitch bool
 
-	// Verification counters for the current beat.
-	wrCount map[[2]int]int // (board, beatParity) writes this beat
 	// CycleLimit is the hard beat budget: exceeding it ends the run with
 	// *ErrCycleLimit instead of hanging the process. New sets a generous
 	// default; cmd/tracesim exposes it as -max-cycles and the fuzz oracle
@@ -255,29 +264,115 @@ type Machine struct {
 
 // New creates a machine for the image with a fresh memory.
 func New(img *isa.Image) *Machine {
-	m := &Machine{
-		Cfg:        img.Cfg,
-		Img:        img,
-		Mem:        make([]byte, img.RequiredMem()),
-		bankBusy:   map[int]int64{},
-		CycleLimit: 2_000_000_000,
-		CheckRes:   !img.Cfg.Ideal,
+	m := &Machine{}
+	m.Reset(img)
+	return m
+}
+
+// Reset re-targets the machine at an image, reusing every buffer the
+// previous program allocated: the multi-megabyte data memory, the pending-
+// write queue, the cache tag and TLB arrays, and — when the image pointer
+// is unchanged — the pre-decoded execution plan. It restores the machine to
+// the state New would produce: architectural state zeroed, stats cleared,
+// instrumentation hooks (InjectWrite, TraceFn, WatchStore, OnInterrupt)
+// removed, DMA stopped, and the certified fast path disabled (re-apply a
+// certificate after Reset to re-enable it). Callers that run many programs
+// — the fuzz oracle, the experiment harness, benchmarks — pool machines
+// through Reset instead of reallocating them.
+func (m *Machine) Reset(img *isa.Image) {
+	if m.Img != img {
+		m.plan = buildPlan(img)
+		m.Img = img
 	}
-	m.itags = make([]int, img.Cfg.ICacheInstrs)
-	m.iasids = make([]uint8, img.Cfg.ICacheInstrs)
+	m.Cfg = img.Cfg
+	if need := img.RequiredMem(); int64(cap(m.Mem)) >= need {
+		m.Mem = m.Mem[:need]
+		clear(m.Mem)
+	} else {
+		m.Mem = make([]byte, need)
+	}
+
+	m.iregs = [4][64]uint32{}
+	m.fregs = [4][32]uint64{}
+	m.sf = [4][16]uint64{}
+	m.bb = [4][8]bool{}
+	m.pc = 0
+	m.beat = 0
+	m.pending = m.pending[:0]
+	m.retired = m.retired[:0]
+	m.out.Reset()
+	m.halted = false
+	m.exit = 0
+	m.fast = false
+	m.bankBusy = [64]int64{}
+	m.curUnit = ""
+
+	m.dmaRate, m.dmaBase, m.dmaLen, m.dmaIssued = 0, 0, 0, 0
+
+	if len(m.itags) != img.Cfg.ICacheInstrs {
+		m.itags = make([]int, img.Cfg.ICacheInstrs)
+		m.iasids = make([]uint8, img.Cfg.ICacheInstrs)
+	}
 	for i := range m.itags {
 		m.itags[i] = -1
+		m.iasids[i] = 0
 	}
-	m.dtlb = make([]int64, TLBEntries)
-	m.itlb = make([]int64, TLBEntries)
-	m.dtlbAsids = make([]uint8, TLBEntries)
-	m.itlbAsids = make([]uint8, TLBEntries)
+	if len(m.dtlb) != TLBEntries {
+		m.dtlb = make([]int64, TLBEntries)
+		m.itlb = make([]int64, TLBEntries)
+		m.dtlbAsids = make([]uint8, TLBEntries)
+		m.itlbAsids = make([]uint8, TLBEntries)
+	}
 	for i := range m.dtlb {
 		m.dtlb[i] = -1
 		m.itlb[i] = -1
+		m.dtlbAsids[i] = 0
+		m.itlbAsids[i] = 0
 	}
-	return m
+	m.asid = 0
+
+	m.FlushOnSwitch = false
+	m.InjectWrite = nil
+	m.TraceFn = nil
+	m.WatchStore = nil
+	m.InterruptEvery = 0
+	m.OnInterrupt = nil
+	m.InterruptBeats = 0
+	m.nextInterrupt = 0
+
+	m.CycleLimit = 2_000_000_000
+	m.CheckRes = !img.Cfg.Ideal
+	m.Stats = Stats{}
 }
+
+// A Certificate attests that a static verifier proved the image obeys the
+// §6 no-interlock schedule contract over every path — the machine may then
+// run the pre-decoded plan straight, with no dynamic legality re-checking.
+// The concrete implementation is schedcheck.Certify; the simulator
+// deliberately depends only on this interface so the verifier and the
+// machine model remain independent implementations of the contract.
+type Certificate interface {
+	// CertifiedImage returns the exact image the certificate covers.
+	CertifiedImage() *isa.Image
+}
+
+// UseCertificate switches the machine onto the certified fast path:
+// dynamic resource checking and write-write race detection are skipped,
+// because the certificate proves statically that no executable path can
+// violate them. The guards for conditions a legal schedule cannot exclude
+// — PC bounds, data memory bounds and alignment, integer divide by zero,
+// unknown opcodes and syscalls — remain live. The certificate must cover
+// exactly the image the machine is executing.
+func (m *Machine) UseCertificate(c Certificate) error {
+	if c == nil || c.CertifiedImage() != m.Img {
+		return fmt.Errorf("vliw: certificate does not cover this image")
+	}
+	m.fast = true
+	return nil
+}
+
+// Fast reports whether the machine is on the certified fast path.
+func (m *Machine) Fast() bool { return m.fast }
 
 // Output returns the output printed so far.
 func (m *Machine) Output() string { return m.out.String() }
@@ -310,6 +405,11 @@ func (m *Machine) dmaCatchUp() {
 	for m.dmaIssued < due {
 		refBeat := int64(float64(m.dmaIssued) * beatsPerRef)
 		ea := m.dmaBase + (m.dmaIssued*8)%m.dmaLen
+		if ea < 0 {
+			m.dmaIssued++
+			m.Stats.DMARefs++
+			continue
+		}
 		ctrl, bank := m.Cfg.BankOf(ea)
 		id := ctrl*8 + bank
 		end := refBeat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
@@ -401,6 +501,9 @@ func (m *Machine) fault(code TrapCode, format string, args ...any) error {
 // machine is timing-robust where it must be and corruption-sensitive where
 // it must be.
 func (m *Machine) StallBank(ea int64, n int64) {
+	if ea < 0 {
+		return
+	}
 	ctrl, bank := m.Cfg.BankOf(ea)
 	id := ctrl*8 + bank
 	if until := m.beat + n; until > m.bankBusy[id] {
@@ -408,9 +511,9 @@ func (m *Machine) StallBank(ea int64, n int64) {
 	}
 }
 
-// step executes one wide instruction (two beats).
+// step executes one wide instruction (two beats) from the pre-decoded plan.
 func (m *Machine) step() error {
-	if m.pc < 0 || m.pc >= len(m.Img.Instrs) {
+	if m.pc < 0 || m.pc >= len(m.plan) {
 		return m.fault(TrapBadPC, "instruction fetch outside image")
 	}
 	// timer interrupts are taken at instruction boundaries; the pipelines
@@ -432,107 +535,100 @@ func (m *Machine) step() error {
 	if m.TraceFn != nil {
 		m.TraceFn(m.pc, m.beat)
 	}
-	in := &m.Img.Instrs[m.pc]
+	pw := &m.plan[m.pc]
 	m.Stats.Instrs++
 
-	m.dmaCatchUp()
+	if m.dmaRate > 0 {
+		m.dmaCatchUp()
+	}
 	// Pre-scan memory references for TLB misses and bank stalls. The
 	// machine charges the bank-stall before initiating the instruction,
 	// and takes the trap (history-queue replay) for the whole batch of
 	// misses at once (§6.4.3: up to 16 misses pending per trap entry).
-	var stall int64
-	misses := 0
-	for si := range in.Slots {
-		s := &in.Slots[si]
-		if !isMemOp(s.Op.Kind) {
-			continue
+	if len(pw.mem) > 0 {
+		var stall int64
+		misses := 0
+		for i := range pw.mem {
+			pm := &pw.mem[i]
+			ea, ok := m.eaOf(pm.op)
+			if !ok {
+				continue // fault reported at execution
+			}
+			if m.dtlbMiss(ea) {
+				misses++
+			}
+			if ea < 0 {
+				continue // wild negative address: no bank to stall on; faults (or the §7 funny number) at execution
+			}
+			ctrl, bank := m.Cfg.BankOf(ea)
+			id := ctrl*8 + bank
+			access := m.beat + pm.beat + mach.StageBank + stall
+			if busy := m.bankBusy[id]; busy > access {
+				stall += busy - access
+			}
 		}
-		ea, ok := m.eaOf(&s.Op)
-		if !ok {
-			continue // fault reported at execution
+		if misses > 0 {
+			cost := int64(TrapEntryBeats + misses*TrapPerMissBeat)
+			m.Stats.TLBMisses += int64(misses)
+			m.Stats.TrapBeats += cost
+			m.beat += cost
 		}
-		if m.dtlbMiss(ea) {
-			misses++
+		if stall > 0 {
+			m.Stats.BankStalls += stall
+			m.beat += stall
 		}
-		ctrl, bank := m.Cfg.BankOf(ea)
-		id := ctrl*8 + bank
-		access := m.beat + int64(s.Beat) + mach.StageBank + stall
-		if busy := m.bankBusy[id]; busy > access {
-			stall += busy - access
-		}
-	}
-	if misses > 0 {
-		cost := int64(TrapEntryBeats + misses*TrapPerMissBeat)
-		m.Stats.TLBMisses += int64(misses)
-		m.Stats.TrapBeats += cost
-		m.beat += cost
-	}
-	if stall > 0 {
-		m.Stats.BankStalls += stall
-		m.beat += stall
 	}
 
 	nextPC := m.pc + 1
-	type brCand struct {
-		prio   int
-		target int
-	}
-	var branches []brCand
-	var haltVal *int32
+	// §6.5.2 multiway branch: the highest-priority (lowest Prio, first in
+	// slot order on ties) true test supplies the next address.
+	taken := false
+	bestPrio := 0
+	halted := false
+	var exit int32
 
 	for beat := 0; beat < 2; beat++ {
 		if err := m.applyWrites(); err != nil {
 			return err
 		}
-		if m.CheckRes {
-			if err := m.checkBeatResources(in, uint8(beat)); err != nil {
-				return err
+		if m.CheckRes && !m.fast {
+			if v := pw.viol[beat]; v != nil {
+				return m.fault(v.code, "%s", v.msg)
 			}
 		}
-		for si := range in.Slots {
-			s := &in.Slots[si]
-			if int(s.Beat) != beat {
-				continue
-			}
+		ops := pw.beats[beat]
+		for i := range ops {
+			p := &ops[i]
 			m.Stats.Ops++
-			m.curUnit = s.Unit.String()
-			switch s.Unit.Kind {
-			case mach.UBR:
-				t, halt, err := m.execBranch(&s.Op)
+			m.curUnit = p.unitName
+			if p.unitKind == mach.UBR {
+				t, halt, err := m.execBranch(p.op)
 				if err != nil {
 					return err
 				}
 				if halt != nil {
-					haltVal = halt
+					halted = true
+					exit = *halt
 				}
-				if t >= 0 {
-					branches = append(branches, brCand{s.Op.Prio, t})
+				if t >= 0 && (!taken || p.op.Prio < bestPrio) {
+					taken = true
+					bestPrio = p.op.Prio
+					nextPC = t
 				}
-			default:
-				if err := m.execOp(&s.Op); err != nil {
-					return err
-				}
+			} else if err := m.execOp(p.op, p.lat); err != nil {
+				return err
 			}
 			m.curUnit = ""
 		}
 		m.beat++
 	}
 
-	// §6.5.2: the highest-priority true test supplies the next address;
-	// default is PC+1 (the GC's default).
-	if len(branches) > 0 {
-		best := branches[0]
-		for _, b := range branches[1:] {
-			if b.prio < best.prio {
-				best = b
-			}
-		}
-		nextPC = best.target
+	if taken {
 		m.Stats.Taken++
 	}
-	if haltVal != nil {
+	if halted {
 		m.halted = true
-		m.exit = *haltVal
+		m.exit = exit
 		return nil
 	}
 	m.pc = nextPC
@@ -606,20 +702,28 @@ func (m *Machine) dtlbMiss(ea int64) bool {
 
 // applyWrites retires pipeline writes due at the current beat ("the
 // destination register is specified when the operation is initiated, and a
-// hardware control pipeline carries the destination forward", §6.2).
+// hardware control pipeline carries the destination forward", §6.2). The
+// handful of writes retiring in any one beat are race-checked pairwise
+// against a reused scratch list — no per-beat map. On the certified fast
+// path the race check is skipped: schedcheck's dataflow analysis proved no
+// path can retire two writes into one register together.
 func (m *Machine) applyWrites() error {
-	written := map[mach.PReg]int{} // dst -> issuing word, for race attribution
+	retired := m.retired[:0]
 	kept := m.pending[:0]
 	for _, w := range m.pending {
 		if w.beat > m.beat {
 			kept = append(kept, w)
 			continue
 		}
-		if first, ok := written[w.dst]; ok {
-			return m.fault(TrapWriteRace, "write-write race on %s: writes issued at word %d and word %d retire together",
-				w.dst, first, w.pc)
+		if !m.fast {
+			for i := range retired {
+				if retired[i].dst == w.dst {
+					return m.fault(TrapWriteRace, "write-write race on %s: writes issued at word %d and word %d retire together",
+						w.dst, retired[i].pc, w.pc)
+				}
+			}
+			retired = append(retired, w)
 		}
-		written[w.dst] = w.pc
 		val := w.val
 		if m.InjectWrite != nil {
 			val = m.InjectWrite(m.beat, w.dst, val)
@@ -627,6 +731,7 @@ func (m *Machine) applyWrites() error {
 		m.writeReg(w.dst, val)
 	}
 	m.pending = kept
+	m.retired = retired[:0]
 	return nil
 }
 

@@ -401,8 +401,9 @@ func ExpE7() ([]*Table, error) {
 			return nil, err
 		}
 		bufBase := (res.Image.DataTop + 4095) &^ 4095
+		m := vliw.New(res.Image)
 		for _, mbs := range []float64{0, 10, 50, 123} {
-			m := vliw.New(res.Image)
+			m.Reset(res.Image)
 			if mbs > 0 {
 				m.StartDMA(bufBase, 1<<16, mbs*1e6)
 			}
@@ -443,8 +444,9 @@ func ExpE7() ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
+		m := vliw.New(res.Image)
 		for _, mode := range []string{"tagged", "purged"} {
-			m := vliw.New(res.Image)
+			m.Reset(res.Image)
 			m.InterruptEvery = 2000
 			m.InterruptBeats = 60
 			m.FlushOnSwitch = mode == "purged"

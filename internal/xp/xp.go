@@ -18,6 +18,12 @@ import (
 // cmd/tracebench sets it from -j; output is identical at every setting.
 var Parallelism int
 
+// Fast runs every workload simulation on the certified fast path: each
+// image is statically verified once and the machine skips its per-beat
+// dynamic checks. cmd/tracebench sets it from -fast; every table is
+// identical at either setting (the fast path changes no timing).
+var Fast bool
+
 // Table is one experiment's output: rows of measurements plus the paper
 // claim the shape is checked against.
 type Table struct {
@@ -145,7 +151,11 @@ func runOn(w Workload, cfg mach.Config, lvl opt.Options, profRun bool) (*vliw.St
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: interpret: %w", w.Name, err)
 	}
-	v, out, st, err := core.Run(res)
+	run := core.Run
+	if Fast {
+		run = core.RunFast
+	}
+	v, out, st, err := run(res)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: simulate: %w", w.Name, err)
 	}

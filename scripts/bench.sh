@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tracked simulator benchmark: runs BenchmarkSimulator (checked) and
+# BenchmarkSimulatorFast (certified) with fixed -benchtime/-count so runs
+# are comparable across commits, then emits BENCH_sim.json via benchjson,
+# comparing against the committed seed baseline (scripts/bench_baseline.txt).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_sim.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Simulator' -benchtime=2s -count=3 -benchmem . | tee "$raw"
+go run ./cmd/benchjson -baseline scripts/bench_baseline.txt -o "$out" "$raw"
+echo "wrote $out"

@@ -24,6 +24,9 @@ go run ./cmd/tracelint -matrix examples/*.mf
 echo "== tracelint (checked-in fuzz corpus)"
 go run ./cmd/tracelint -corpus internal/fuzz/testdata/fuzz/FuzzDifferential/*
 
+echo "== certified fast path smoke (fast vs checked agree: examples x O0/O1/O2 x Trace 7/14/28)"
+go test -run TestFastCheckedAgree -count=1 .
+
 echo "== tracefuzz smoke (deterministic differential run)"
 go run ./cmd/tracefuzz -seed 1 -n 200
 

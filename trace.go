@@ -36,6 +36,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
 	"github.com/multiflow-repro/trace/internal/pipeline"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
@@ -179,6 +180,24 @@ func Compile(src string, o Options) (*Result, error) {
 // value, printed output, and performance counters.
 func Run(res *Result) (int32, string, *Stats, error) {
 	return core.Run(res)
+}
+
+// Certificate is proof that a compiled image passed whole-image static
+// verification of the no-interlock schedule contract with no errors; it
+// authorizes the simulator's fast path (RunFast, Machine.UseCertificate).
+type Certificate = schedcheck.Certificate
+
+// Certify statically verifies the compiled image and mints a Certificate.
+func Certify(res *Result) (*Certificate, error) {
+	return core.Certify(res)
+}
+
+// RunFast executes a compiled program on the certified fast path: the image
+// is statically verified once (Certify), then the machine skips its
+// per-beat dynamic resource and write-race checks. Exit value, output, and
+// statistics are identical to Run — only the checking mode differs.
+func RunFast(res *Result) (int32, string, *Stats, error) {
+	return core.RunFast(res)
 }
 
 // NewMachine returns a machine for the compiled image, for callers who want
