@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"context"
 	"testing"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
@@ -403,6 +404,33 @@ func BenchmarkSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 		beats += m.Stats.Beats
+	}
+	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
+}
+
+// BenchmarkSimulatorFastCtx measures the certified fast path driven through
+// RunContext with a live (Background) context — the configuration every
+// server-side run uses. The delta against BenchmarkSimulatorFast is the
+// total cost of beat-granularity cancellation checks; the contract is that
+// it stays under 2%.
+func BenchmarkSimulatorFastCtx(b *testing.B) {
+	art, err := Build(context.Background(), daxpyBench, Options{ProfileRun: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := art.Certificate(); err != nil {
+		b.Fatal(err)
+	}
+	m := art.Machine()
+	ctx := context.Background()
+	var beats int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := art.RunOn(ctx, m, RunOptions{Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		beats += res.Stats.Beats
 	}
 	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/multiflow-repro/trace/internal/xp"
 )
@@ -33,7 +35,10 @@ func main() {
 		}
 		return
 	}
-	tables, err := xp.RunByID(*exp)
+	// SIGINT stops the harness at the next compile or simulation boundary.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	tables, err := xp.RunByID(ctx, *exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracebench:", err)
 		os.Exit(1)

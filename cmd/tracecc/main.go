@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
 	"github.com/multiflow-repro/trace/internal/core"
@@ -66,10 +68,14 @@ func main() {
 	if *dumpIR {
 		copts.DumpIR = os.Stdout
 	}
-	res, err := core.CompileFile(flag.Arg(0), string(src), copts)
+	// SIGINT cancels the build at the next pass or function boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	art, err := core.BuildFile(ctx, flag.Arg(0), string(src), copts)
 	if err != nil {
 		fatal(err)
 	}
+	res := art.Result()
 
 	if *timePasses {
 		fmt.Print(res.Report.String())

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,6 +43,11 @@ func main() {
 		*jobs = runtime.NumCPU()
 	}
 
+	// SIGINT drains the campaign: in-flight oracle runs stop at the next
+	// compile-pass or simulation-check boundary and the summary still prints.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+
 	opts := fuzz.Options{RefSteps: *refSteps, Fast: *fast}
 	seeds := make(chan int64)
 	results := make(chan outcome)
@@ -49,13 +57,18 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for s := range seeds {
-				results <- outcome{s, fuzz.CheckSeed(s, opts)}
+				results <- outcome{s, fuzz.CheckSeed(ctx, s, opts)}
 			}
 		}()
 	}
 	go func() {
+	feed:
 		for s := *seed; s < *seed+*n; s++ {
-			seeds <- s
+			select {
+			case seeds <- s:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(seeds)
 		wg.Wait()
@@ -71,6 +84,9 @@ func main() {
 		case r.err == nil:
 			ok++
 		case r.err == fuzz.ErrSkip:
+			skipped++
+		case errors.Is(r.err, context.Canceled):
+			// interrupted mid-oracle: not a finding
 			skipped++
 		default:
 			bad = append(bad, r)

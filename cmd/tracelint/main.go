@@ -21,10 +21,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -32,7 +34,6 @@ import (
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
-	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/tsched"
 )
 
@@ -84,6 +85,10 @@ func main() {
 		configs = append(configs, config{fmt.Sprintf("O%d/%s", *olevel, cfg.Name), cfg, optLevel(*olevel)})
 	}
 
+	// SIGINT cancels the in-flight compile at the next pass boundary.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+
 	exit := 0
 	for _, path := range flag.Args() {
 		raw, err := os.ReadFile(path)
@@ -106,7 +111,7 @@ func main() {
 			}
 		}
 		for _, c := range configs {
-			res, err := core.Compile(src, core.Options{Config: c.cfg, Opt: c.opt})
+			art, err := core.Build(ctx, src, core.Options{Config: c.cfg, Opt: c.opt})
 			if err != nil {
 				if *corpus && isCapacityReject(err) {
 					// A corpus program honestly rejected on a narrow machine
@@ -116,9 +121,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "tracelint: %s [%s]: %v\n", path, c.name, err)
 				os.Exit(2)
 			}
-			rep := schedcheck.Check(res.Image, schedcheck.Options{
-				Src: schedcheck.NewSourceMap(res.Image, res.Funcs),
-			})
+			rep := art.Lint()
 			for _, f := range rep.Errors() {
 				fmt.Printf("%s [%s]: %s\n", path, c.name, f.String())
 				exit = 1

@@ -8,17 +8,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
 	"github.com/multiflow-repro/trace/internal/core"
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
-	"github.com/multiflow-repro/trace/internal/schedcheck"
-	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 func main() {
@@ -61,7 +62,11 @@ func main() {
 	if *profRun {
 		mode = core.ProfileRun
 	}
-	res, err := core.CompileFile(flag.Arg(0), string(src), core.Options{
+	// SIGINT cancels the compile at the next pass boundary and the
+	// simulation within one beat-check interval.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	art, err := core.BuildFile(ctx, flag.Arg(0), string(src), core.Options{
 		Config: cfg, Opt: lvl, Profile: mode,
 		Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
 	})
@@ -69,12 +74,12 @@ func main() {
 		fatal(err)
 	}
 
-	m := vliw.New(res.Image)
+	m := art.Machine()
 	if *maxCycles > 0 {
 		m.CycleLimit = *maxCycles
 	}
 	if *fast {
-		cert, err := schedcheck.Certify(res.Image)
+		cert, err := art.Certificate()
 		if err != nil {
 			fatal(fmt.Errorf("-fast: %w", err))
 		}
@@ -91,9 +96,13 @@ func main() {
 			last = pc
 		}
 	}
-	v, out, err := m.Run()
+	v, out, err := m.RunContext(ctx)
 	fmt.Print(out)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tracesim: interrupted:", err)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	st := &m.Stats

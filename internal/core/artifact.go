@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/pipeline"
+	"github.com/multiflow-repro/trace/internal/schedcheck"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// Artifact is a completed compilation as a first-class value: the
+// executable image plus every derived product a caller might want — the
+// pass report, the static-verification report, and the fast-path
+// Certificate, the latter two minted lazily and cached on the artifact.
+//
+// An Artifact is immutable after Build and safe for concurrent use: the
+// paper's premise (§4) is that the compiler statically owns every machine
+// resource, so a compiled image never changes after linking. That is what
+// makes artifacts content-addressable and shareable — the serving layer
+// caches one Artifact per (source × options) key and runs it from many
+// requests at once, each on its own Machine.
+type Artifact struct {
+	res *Result
+
+	mu       sync.Mutex
+	cert     *schedcheck.Certificate
+	certErr  error
+	certDone bool
+	lint     *schedcheck.Report
+}
+
+// Build compiles MF source text into an Artifact. It is the context-aware
+// entry point the Run/Lint/Certificate methods hang off; the deprecated
+// package-level Compile/Run/RunFast/Certify helpers are thin wrappers over
+// it. Cancellation is honored at pass boundaries, between per-function
+// backend jobs, and at backend stage boundaries.
+func Build(ctx context.Context, src string, opts Options) (*Artifact, error) {
+	res, err := Compile(ctx, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{res: res}, nil
+}
+
+// BuildFile is Build for source read from a named file: frontend
+// diagnostics render as "name:line:col: message".
+func BuildFile(ctx context.Context, name, src string, opts Options) (*Artifact, error) {
+	res, err := CompileFile(ctx, name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{res: res}, nil
+}
+
+// NewArtifact wraps an existing compilation Result. It is the migration
+// shim for callers holding a *Result from the deprecated Compile entry
+// points.
+func NewArtifact(res *Result) *Artifact { return &Artifact{res: res} }
+
+// Result exposes the underlying compilation record (image, IR, pass
+// report, retry metadata) for inspection. Callers must treat it as
+// read-only; mutating a cached artifact's result corrupts every concurrent
+// user.
+func (a *Artifact) Result() *Result { return a.res }
+
+// Image returns the linked executable image.
+func (a *Artifact) Image() *isa.Image { return a.res.Image }
+
+// Report returns the per-pass timing and IR-size record of the build.
+func (a *Artifact) Report() pipeline.Report { return a.res.Report }
+
+// Lint statically verifies the image against the no-interlock schedule
+// contract and returns the full report (errors and warnings, with
+// function/line attribution). The report is computed once and cached; when
+// the build already ran the lint stage (Options.Lint), that report is
+// reused.
+func (a *Artifact) Lint() *schedcheck.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lintLocked()
+}
+
+func (a *Artifact) lintLocked() *schedcheck.Report {
+	if a.lint == nil {
+		if a.res.Lint != nil {
+			a.lint = a.res.Lint
+		} else {
+			a.lint = schedcheck.Check(a.res.Image, schedcheck.Options{
+				Src: schedcheck.NewSourceMap(a.res.Image, a.res.Funcs),
+			})
+		}
+	}
+	return a.lint
+}
+
+// Certificate statically verifies the image (once — the result is cached
+// on the artifact, shared by every subsequent fast run) and mints the
+// certificate that authorizes the simulator's fast path.
+func (a *Artifact) Certificate() (*schedcheck.Certificate, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.certDone {
+		a.cert, a.certErr = a.lintLocked().Certify()
+		a.certDone = true
+	}
+	return a.cert, a.certErr
+}
+
+// Machine returns a fresh machine loaded with the artifact's image, for
+// callers who want to instrument execution (watchpoints, traces, beat
+// limits) directly.
+func (a *Artifact) Machine() *vliw.Machine { return vliw.New(a.res.Image) }
+
+// RunOptions configures one execution of an artifact.
+type RunOptions struct {
+	// Fast selects the certified fast path: the artifact's cached
+	// Certificate (minted on first use) authorizes the machine to skip its
+	// per-beat dynamic resource and write-race checks. Results are
+	// identical to the checked mode; only the checking mode differs.
+	Fast bool
+	// MaxCycles overrides the machine's beat budget (0 keeps the default).
+	MaxCycles int64
+}
+
+// ExitResult is one completed execution: exit value, captured output, and
+// the machine's performance counters.
+type ExitResult struct {
+	Exit   int32
+	Output string
+	Stats  vliw.Stats
+	// Fast records whether the run took the certified fast path.
+	Fast bool
+}
+
+// Run executes the artifact on a fresh machine. The context is polled at
+// beat granularity (vliw.Machine.CtxCheckEvery): a canceled or expired
+// context stops the simulation within one check interval with a
+// *vliw.ErrCanceled wrapping the context error.
+func (a *Artifact) Run(ctx context.Context, o RunOptions) (ExitResult, error) {
+	return a.RunOn(ctx, vliw.New(a.res.Image), o)
+}
+
+// RunOn is Run on a caller-provided machine, which is Reset onto the
+// artifact's image first: callers serving many runs pool machines (they
+// own multi-megabyte memories) and thread them through here, exactly as
+// internal/serve and the fuzz oracle do.
+func (a *Artifact) RunOn(ctx context.Context, m *vliw.Machine, o RunOptions) (ExitResult, error) {
+	m.Reset(a.res.Image)
+	if o.MaxCycles > 0 {
+		m.CycleLimit = o.MaxCycles
+	}
+	if o.Fast {
+		cert, err := a.Certificate()
+		if err != nil {
+			return ExitResult{}, fmt.Errorf("fast path: %w", err)
+		}
+		if err := m.UseCertificate(cert); err != nil {
+			return ExitResult{}, err
+		}
+	}
+	v, out, err := m.RunContext(ctx)
+	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Fast: m.Fast()}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

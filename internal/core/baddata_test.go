@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -23,7 +24,7 @@ func TestBadTestdataRejectedWithPosition(t *testing.T) {
 			t.Fatal(err)
 		}
 		name := filepath.Base(f)
-		_, cerr := CompileFile(name, string(src), DefaultOptions())
+		_, cerr := CompileFile(context.Background(), name, string(src), DefaultOptions())
 		if cerr == nil {
 			t.Errorf("%s: compiled successfully, want positioned error", name)
 			continue
@@ -46,7 +47,7 @@ func TestGoodTestdataStillCompiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, cerr := CompileFile(filepath.Base(f), string(src), DefaultOptions()); cerr != nil {
+		if _, cerr := CompileFile(context.Background(), filepath.Base(f), string(src), DefaultOptions()); cerr != nil {
 			t.Errorf("%s: %v", filepath.Base(f), cerr)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestBigFuzz(t *testing.T) {
 	cfgs := []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28(), mach.IdealConfig(2)}
 	for trial := 0; trial < 400; trial++ {
 		src := genProgram(rng)
-		ref, err := Compile(src, Options{Config: mach.Trace7(), Opt: opt.None()})
+		ref, err := Compile(context.Background(), src, Options{Config: mach.Trace7(), Opt: opt.None()})
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
 		}
@@ -27,7 +28,7 @@ func TestBigFuzz(t *testing.T) {
 		}
 		cfg := cfgs[trial%len(cfgs)]
 		level := opt.Options{Inline: trial%2 == 0, UnrollFactor: 1 + rng.Intn(8)}
-		res, err := Compile(src, Options{Config: cfg, Opt: level, Profile: ProfileMode(trial % 2)})
+		res, err := Compile(context.Background(), src, Options{Config: cfg, Opt: level, Profile: ProfileMode(trial % 2)})
 		if err != nil {
 			t.Fatalf("trial %d [%s u%d]: compile: %v\n%s", trial, cfg.Name, level.UnrollFactor, err, src)
 		}

@@ -13,10 +13,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/isa"
@@ -103,33 +105,51 @@ type Result struct {
 	OptUsed opt.Options
 }
 
-// Compile compiles MF source text.
-func Compile(src string, opts Options) (*Result, error) {
+// pipelineRuns counts completed pipeline executions process-wide (one per
+// CompileIR call that reaches the pass pipeline). The serving layer's cache
+// tests use it to prove that a cache-hit request performed zero compilations
+// — the counter is incremented here, beneath every entry point, so no
+// caching layer above can fake it.
+var pipelineRuns atomic.Int64
+
+// PipelineRuns reports how many compilations have executed the pass
+// pipeline since process start.
+func PipelineRuns() int64 { return pipelineRuns.Load() }
+
+// Compile compiles MF source text. The context is honored at every pass
+// boundary, between per-function backend jobs, and at backend stage
+// boundaries: a canceled compile returns an error satisfying
+// errors.Is(err, ctx.Err()) without finishing the remaining work.
+func Compile(ctx context.Context, src string, opts Options) (*Result, error) {
 	prog, err := lang.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return CompileIR(prog, opts)
+	return CompileIR(ctx, prog, opts)
 }
 
 // CompileFile compiles MF source read from a named file; frontend
 // diagnostics render as "name:line:col: message".
-func CompileFile(name, src string, opts Options) (*Result, error) {
+func CompileFile(ctx context.Context, name, src string, opts Options) (*Result, error) {
 	prog, err := lang.CompileFile(name, src)
 	if err != nil {
 		return nil, err
 	}
-	return CompileIR(prog, opts)
+	return CompileIR(ctx, prog, opts)
 }
 
 // CompileIR compiles an IR program (which is not modified).
-func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
+func CompileIR(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	pipelineRuns.Add(1)
 	res := &Result{SourceIR: prog}
 
 	// Retry with gentler unrolling if a register bank overflows: the
@@ -137,26 +157,26 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 	optCfg := opts.Opt
 	for attempt := 0; ; attempt++ {
 		work := prog.Clone()
-		ctx := pipeline.NewContext()
-		ctx.Verify = opts.Verify
-		ctx.DumpIR = opts.DumpIR
+		pctx := pipeline.NewContext()
+		pctx.Verify = opts.Verify
+		pctx.DumpIR = opts.DumpIR
 
 		// Front half: classical optimization then profile estimation, as
 		// registered passes.
 		opsBefore := pipeline.CountOps(work)
 		passes := append(opt.Passes(optCfg), profile.Pass(opts.Profile == ProfileRun))
-		if err := pipeline.Run(work, ctx, passes...); err != nil {
+		if err := pipeline.Run(ctx, work, pctx, passes...); err != nil {
 			return nil, err
 		}
-		res.Opt = opt.StatsFrom(ctx, opsBefore, pipeline.CountOps(work))
-		res.Profile = ctx.Profile
+		res.Opt = opt.StatsFrom(pctx, opsBefore, pipeline.CountOps(work))
+		res.Profile = pctx.Profile
 
 		// Back half: per-function trace scheduling fans out over the worker
 		// pool; linking is sequential.
 		var codes []*tsched.FuncCode
-		err := ctx.Stage("tsched", work, func() error {
+		err := pctx.Stage(ctx, "tsched", work, func() error {
 			var err error
-			codes, err = tsched.CompileParallel(work, opts.Config, res.Profile, tsched.CompileOptions{
+			codes, err = tsched.CompileParallel(ctx, work, opts.Config, res.Profile, tsched.CompileOptions{
 				MaxTraceBlocks: opts.MaxTraceBlocks,
 				Parallelism:    opts.Parallelism,
 			})
@@ -174,10 +194,13 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 				optCfg.Inline = false
 				continue
 			}
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				return nil, fmt.Errorf("compilation canceled in the backend: %w", err)
+			}
 			return nil, fmt.Errorf("schedule: %w", err)
 		}
 		var img *isa.Image
-		if err := ctx.Stage("link", work, func() error {
+		if err := pctx.Stage(ctx, "link", work, func() error {
 			var err error
 			img, err = isa.Link(work, codes, opts.Config)
 			return err
@@ -185,7 +208,7 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 			return nil, err
 		}
 		if opts.Lint {
-			if err := ctx.Stage("lint", work, func() error {
+			if err := pctx.Stage(ctx, "lint", work, func() error {
 				res.Lint = schedcheck.Check(img, schedcheck.Options{
 					Src: schedcheck.NewSourceMap(img, codes),
 				})
@@ -197,11 +220,11 @@ func CompileIR(prog *ir.Program, opts Options) (*Result, error) {
 		res.Funcs = codes
 		res.OptIR = work
 		res.Image = img
-		res.Report = ctx.Report
+		res.Report = pctx.Report
 		res.Attempts = attempt + 1
 		res.OptUsed = optCfg
 		if opts.TimePasses {
-			fmt.Fprint(os.Stderr, ctx.Report.String())
+			fmt.Fprint(os.Stderr, pctx.Report.String())
 		}
 		return res, nil
 	}
@@ -246,7 +269,7 @@ func RunFast(res *Result) (int32, string, *vliw.Stats, error) {
 // RunSource is the one-call convenience: compile and run, returning the
 // machine too for stats inspection.
 func RunSource(src string, opts Options) (int32, string, *vliw.Machine, error) {
-	res, err := Compile(src, opts)
+	res, err := Compile(context.Background(), src, opts)
 	if err != nil {
 		return 0, "", nil, err
 	}

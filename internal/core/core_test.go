@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // simulator, and requires identical results.
 func diff(t *testing.T, src string, opts Options) *Result {
 	t.Helper()
-	res, err := Compile(src, opts)
+	res, err := Compile(context.Background(), src, opts)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -257,7 +258,7 @@ func TestIdealMachine(t *testing.T) {
 // operations and carries address prefixes; out-of-range addresses are
 // reported rather than panicking.
 func TestDisassembleReadable(t *testing.T) {
-	res, err := Compile(`
+	res, err := Compile(context.Background(), `
 var a [8]float
 func main() int {
 	var s float = 0.0
@@ -314,7 +315,7 @@ func main() int {
 // TestImageMemoryContract: RequiredMem is honored by InitMem, and
 // undersized memories are rejected cleanly.
 func TestImageMemoryContract(t *testing.T) {
-	res, err := Compile(`
+	res, err := Compile(context.Background(), `
 var big [4096]float
 var tag int = 77
 func main() int {
@@ -357,7 +358,7 @@ func TestCodeSizesConsistent(t *testing.T) {
 	return s
 }`,
 	} {
-		res, err := Compile(src, DefaultOptions())
+		res, err := Compile(context.Background(), src, DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -26,7 +27,7 @@ func TestFuzzDifferential(t *testing.T) {
 	cfgs := []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()}
 	for trial := 0; trial < trials; trial++ {
 		src := genProgram(rng)
-		ref, err := Compile(src, Options{Config: mach.Trace7(), Opt: opt.None()})
+		ref, err := Compile(context.Background(), src, Options{Config: mach.Trace7(), Opt: opt.None()})
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
 		}
@@ -36,7 +37,7 @@ func TestFuzzDifferential(t *testing.T) {
 		}
 		cfg := cfgs[trial%len(cfgs)]
 		level := opt.Options{Inline: trial%2 == 0, UnrollFactor: 1 + rng.Intn(8)}
-		res, err := Compile(src, Options{Config: cfg, Opt: level,
+		res, err := Compile(context.Background(), src, Options{Config: cfg, Opt: level,
 			Profile: ProfileMode(trial % 2)})
 		if err != nil {
 			t.Fatalf("trial %d [%s u%d]: compile: %v\n%s", trial, cfg.Name, level.UnrollFactor, err, src)
@@ -172,12 +173,12 @@ func TestDeterministicCompile(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	src := genProgram(rng)
 	opts := Options{Config: mach.Trace28(), Opt: opt.Default()}
-	a, err := Compile(src, opts)
+	a, err := Compile(context.Background(), src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		b, err := Compile(src, opts)
+		b, err := Compile(context.Background(), src, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestDeterministicCompile(t *testing.T) {
 
 // TestCompilerStats sanity-checks the statistics the experiments rely on.
 func TestCompilerStats(t *testing.T) {
-	res, err := Compile(daxpySrc, Options{Config: mach.Trace28(), Opt: opt.Default()})
+	res, err := Compile(context.Background(), daxpySrc, Options{Config: mach.Trace28(), Opt: opt.Default()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func main() int {
 	return h
 }`
 	for _, cfg := range []mach.Config{mach.Trace7(), mach.Trace28()} {
-		res, err := Compile(src, Options{Config: cfg, Opt: opt.Default(), Profile: ProfileRun})
+		res, err := Compile(context.Background(), src, Options{Config: cfg, Opt: opt.Default(), Profile: ProfileRun})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func TestFuzzBasicBlockOnly(t *testing.T) {
 	cfgs := []mach.Config{mach.Trace7(), mach.Trace14(), mach.Trace28()}
 	for trial := 0; trial < trials; trial++ {
 		src := genProgram(rng)
-		ref, err := Compile(src, Options{Config: mach.Trace7(), Opt: opt.None()})
+		ref, err := Compile(context.Background(), src, Options{Config: mach.Trace7(), Opt: opt.None()})
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
 		}
@@ -283,7 +284,7 @@ func TestFuzzBasicBlockOnly(t *testing.T) {
 			continue
 		}
 		cfg := cfgs[trial%len(cfgs)]
-		res, err := Compile(src, Options{Config: cfg, Opt: opt.Default(), MaxTraceBlocks: 1})
+		res, err := Compile(context.Background(), src, Options{Config: cfg, Opt: opt.Default(), MaxTraceBlocks: 1})
 		if err != nil {
 			t.Fatalf("trial %d [%s bb-only]: compile: %v\n%s", trial, cfg.Name, err, src)
 		}
@@ -296,7 +297,7 @@ func TestFuzzBasicBlockOnly(t *testing.T) {
 				trial, cfg.Name, gotV, wantV, gotOut, wantOut, src)
 		}
 		// and with a mid-length cap, the intermediate rung of the ladder
-		res2, err := Compile(src, Options{Config: cfg, Opt: opt.Default(), MaxTraceBlocks: 3})
+		res2, err := Compile(context.Background(), src, Options{Config: cfg, Opt: opt.Default(), MaxTraceBlocks: 3})
 		if err != nil {
 			t.Fatalf("trial %d [%s cap3]: compile: %v\n%s", trial, cfg.Name, err, src)
 		}

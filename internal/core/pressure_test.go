@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -93,7 +94,7 @@ func TestPressureErrorSurfacesWhenUnfixable(t *testing.T) {
 		Opt:     opt.Options{UnrollFactor: 1},
 		Profile: ProfileHeuristic,
 	}
-	_, err := Compile(src, opts)
+	_, err := Compile(context.Background(), src, opts)
 	if err == nil {
 		t.Fatal("want pressure error with a 12-register F bank, got success")
 	}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestOracleCleanOnSeeds(t *testing.T) {
 		t.Skip("full oracle is slow")
 	}
 	for seed := int64(1); seed <= 8; seed++ {
-		if err := CheckSeed(seed, Options{}); err != nil {
+		if err := CheckSeed(context.Background(), seed, Options{}); err != nil {
 			t.Errorf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
 		}
 	}
@@ -51,7 +52,7 @@ func TestOracleSkipsRejectedInput(t *testing.T) {
 	for _, src := range []string{
 		"", "not a program", "func main() int { return x }", strings.Repeat("(", 100000),
 	} {
-		if err := Check(src, Options{}); !errors.Is(err, ErrSkip) {
+		if err := Check(context.Background(), src, Options{}); !errors.Is(err, ErrSkip) {
 			t.Errorf("Check(%.20q) = %v, want ErrSkip", src, err)
 		}
 	}
@@ -74,7 +75,7 @@ func FuzzDifferential(f *testing.F) {
 		}
 		// Tight budgets: the fuzzer's job is crash/divergence hunting, not
 		// long executions; runaway programs become skips via the ref budget.
-		err := Check(src, Options{RefSteps: 2_000_000})
+		err := Check(context.Background(), src, Options{RefSteps: 2_000_000})
 		if err != nil && !errors.Is(err, ErrSkip) {
 			t.Fatalf("%v", err)
 		}
@@ -88,7 +89,7 @@ func FuzzGen(f *testing.F) {
 	f.Add(int64(42))
 	f.Add(int64(-7))
 	f.Fuzz(func(t *testing.T, seed int64) {
-		if err := CheckSeed(seed, Options{RefSteps: 5_000_000}); err != nil && !errors.Is(err, ErrSkip) {
+		if err := CheckSeed(context.Background(), seed, Options{RefSteps: 5_000_000}); err != nil && !errors.Is(err, ErrSkip) {
 			t.Fatalf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
 		}
 	})

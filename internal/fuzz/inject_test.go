@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"testing"
 
 	"github.com/multiflow-repro/trace/internal/core"
@@ -45,7 +46,7 @@ func flip(dst mach.PReg, val uint64) uint64 {
 // output. A silently absorbed corruption would mean the differential oracle
 // has a blind spot.
 func TestEverySingleWriteFaultDetected(t *testing.T) {
-	res, err := core.Compile(injectSrc, core.Options{
+	res, err := core.Compile(context.Background(), injectSrc, core.Options{
 		Config: mach.Trace7(), Opt: opt.None(), Parallelism: 1,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -62,7 +63,7 @@ var machinePool = sync.Pool{New: func() any { return new(vliw.Machine) }}
 // certificate authorizing the machine's fast path; a report that cannot
 // certify after a clean lint is itself a schedcheck bug and is returned as
 // the run error so the oracle flags it.
-func runImage(img *isa.Image, rep *schedcheck.Report, maxCycles int64, fast bool) (int32, string, error) {
+func runImage(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, fast bool) (int32, string, error) {
 	m := machinePool.Get().(*vliw.Machine)
 	defer machinePool.Put(m)
 	m.Reset(img)
@@ -76,7 +77,7 @@ func runImage(img *isa.Image, rep *schedcheck.Report, maxCycles int64, fast bool
 			return 0, "", err
 		}
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // matrix is the compile-and-run settings every input is checked across:
@@ -98,7 +99,7 @@ var matrix = []struct {
 // Check runs the full differential oracle on one MF source text. It returns
 // nil when every configuration agrees with the scalar reference, ErrSkip
 // when the input establishes no reference, and a *Divergence otherwise.
-func Check(src string, o Options) error {
+func Check(ctx context.Context, src string, o Options) error {
 	if o.RefSteps == 0 {
 		o.RefSteps = 50_000_000
 	}
@@ -126,7 +127,7 @@ func Check(src string, o Options) error {
 			Config: m.cfg(), Opt: m.opt(),
 			MaxTraceBlocks: m.maxTrace, Parallelism: m.jobs,
 		}
-		res, err := core.Compile(src, copts)
+		res, err := core.Compile(ctx, src, copts)
 		if err != nil {
 			// The machine is finite and the allocator does not spill: a
 			// structured capacity rejection on a narrow config is the
@@ -142,7 +143,7 @@ func Check(src string, o Options) error {
 		if d != nil {
 			return d
 		}
-		gotV, gotOut, err := runImage(res.Image, rep, maxCycles, o.Fast)
+		gotV, gotOut, err := runImage(ctx, res.Image, rep, maxCycles, o.Fast)
 		if err != nil {
 			return &Divergence{Stage: "trap", Config: m.name,
 				Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", err), Src: src}
@@ -160,7 +161,7 @@ func Check(src string, o Options) error {
 	// Full optimization on the widest machine, sequential and parallel
 	// backends: run the sequential image against the reference, then require
 	// the 4-worker build to be byte-identical.
-	return checkO2(src, wantV, wantOut, maxCycles, o.Fast)
+	return checkO2(ctx, src, wantV, wantOut, maxCycles, o.Fast)
 }
 
 // checkArtifact statically verifies every artifact a successful compile
@@ -198,11 +199,11 @@ func isCapacityReject(err error) bool {
 // checkO2 compiles at full optimization for Trace 28 with a sequential and a
 // 4-worker backend, checks the sequential image against the reference result,
 // and requires the parallel build to be byte-identical to the sequential one.
-func checkO2(src string, wantV int32, wantOut string, maxCycles int64, fast bool) error {
+func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCycles int64, fast bool) error {
 	opts := func(jobs int) core.Options {
 		return core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: jobs}
 	}
-	seq, err := core.Compile(src, opts(1))
+	seq, err := core.Compile(ctx, src, opts(1))
 	if err != nil {
 		if isCapacityReject(err) {
 			return nil
@@ -214,7 +215,7 @@ func checkO2(src string, wantV int32, wantOut string, maxCycles int64, fast bool
 	if d != nil {
 		return d
 	}
-	gotV, gotOut, rerr := runImage(seq.Image, rep, maxCycles, fast)
+	gotV, gotOut, rerr := runImage(ctx, seq.Image, rep, maxCycles, fast)
 	if rerr != nil {
 		return &Divergence{Stage: "trap", Config: "trace28/O2/j1",
 			Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", rerr), Src: src}
@@ -224,7 +225,7 @@ func checkO2(src string, wantV int32, wantOut string, maxCycles int64, fast bool
 			Detail: fmt.Sprintf("exit %d output %q, reference %d %q", gotV, gotOut, wantV, wantOut), Src: src}
 	}
 
-	par, err := core.Compile(src, opts(4))
+	par, err := core.Compile(ctx, src, opts(4))
 	if err != nil {
 		return &Divergence{Stage: "image", Config: "trace28/O2/j4",
 			Detail: fmt.Sprintf("sequential build succeeded but parallel build failed: %v", err), Src: src}
@@ -245,6 +246,6 @@ func checkO2(src string, wantV int32, wantOut string, maxCycles int64, fast bool
 }
 
 // CheckSeed generates the program for seed and runs the oracle on it.
-func CheckSeed(seed int64, o Options) error {
-	return Check(Gen(seed), o)
+func CheckSeed(ctx context.Context, seed int64, o Options) error {
+	return Check(ctx, Gen(seed), o)
 }

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/pipeline"
 )
@@ -75,7 +77,7 @@ func Run(p *ir.Program, opts Options) Stats {
 	ctx := pipeline.NewContext()
 	before := pipeline.CountOps(p)
 	// Classical passes never fail without verify mode enabled.
-	if err := pipeline.Run(p, ctx, Passes(opts)...); err != nil {
+	if err := pipeline.Run(context.Background(), p, ctx, Passes(opts)...); err != nil {
 		panic("opt: classical pass failed: " + err.Error())
 	}
 	return StatsFrom(ctx, before, pipeline.CountOps(p))

@@ -1,0 +1,61 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/multiflow-repro/trace/internal/ir"
+	"github.com/multiflow-repro/trace/internal/pipeline"
+)
+
+// TestRunStopsAtPassBoundary: cancellation between passes must prevent the
+// next pass from running, name the pass it stopped before, and satisfy
+// errors.Is — while the pass that triggered the cancel still completes (a
+// pass is atomic; the IR is never left half-transformed).
+func TestRunStopsAtPassBoundary(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	cctx, cancel := context.WithCancel(context.Background())
+	var ran []string
+	mk := func(name string) pipeline.Pass {
+		return pipeline.New(name, func(p *ir.Program, ctx *pipeline.Context) error {
+			ran = append(ran, name)
+			if name == "second" {
+				cancel() // cancel mid-pipeline, from inside a pass
+			}
+			return nil
+		})
+	}
+	err := pipeline.Run(cctx, p, pipeline.NewContext(), mk("first"), mk("second"), mk("third"))
+	if err == nil {
+		t.Fatal("canceled pipeline returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	if !strings.Contains(err.Error(), "third") {
+		t.Errorf("error does not name the pass it stopped before: %v", err)
+	}
+	if len(ran) != 2 || ran[1] != "second" {
+		t.Errorf("passes run = %v, want [first second]", ran)
+	}
+}
+
+func TestStageHonorsContext(t *testing.T) {
+	p := mustProg(t, tinySrc)
+	ctx := pipeline.NewContext()
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ctx.Stage(cctx, "backend", p, func() error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	if called {
+		t.Error("stage body ran despite a canceled context")
+	}
+	if !strings.Contains(err.Error(), "backend") {
+		t.Errorf("error does not name the stage: %v", err)
+	}
+}

@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -153,8 +154,17 @@ func PerFunc(name, metric string, fn func(*ir.Func) int) Pass {
 // Run executes the passes in order over p, recording a timing entry per
 // pass. With ctx.Verify set, the IR is validated after every pass and the
 // first failure is attributed to the pass that produced it.
-func Run(p *ir.Program, ctx *Context, passes ...Pass) error {
+//
+// The driver checks cctx at every pass boundary: a canceled compilation
+// stops before the next pass starts and returns an error satisfying
+// errors.Is(err, cctx.Err()). Passes themselves are not interrupted — a
+// pass either completes or never runs, so cancellation can never leave the
+// IR half-transformed.
+func Run(cctx context.Context, p *ir.Program, ctx *Context, passes ...Pass) error {
 	for _, ps := range passes {
+		if err := cctx.Err(); err != nil {
+			return fmt.Errorf("compilation canceled before pass %s: %w", ps.Name(), err)
+		}
 		before := CountOps(p)
 		start := time.Now()
 		err := guard(ps.Name(), func() error { return ps.Run(p, ctx) })
@@ -179,8 +189,12 @@ func Run(p *ir.Program, ctx *Context, passes ...Pass) error {
 
 // Stage times a non-IR backend stage (scheduling, linking) into the same
 // report. The op counts of the program are recorded unchanged on both sides
-// since stages operate past the IR.
-func (ctx *Context) Stage(name string, p *ir.Program, fn func() error) error {
+// since stages operate past the IR. Like Run, it checks cctx at the stage
+// boundary, so a canceled compilation never starts the next backend stage.
+func (ctx *Context) Stage(cctx context.Context, name string, p *ir.Program, fn func() error) error {
+	if err := cctx.Err(); err != nil {
+		return fmt.Errorf("compilation canceled before stage %s: %w", name, err)
+	}
 	ops := CountOps(p)
 	start := time.Now()
 	err := guard(name, fn)

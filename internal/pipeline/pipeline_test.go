@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestVerifyCatchesBrokenPass(t *testing.T) {
 
 	ctx := pipeline.NewContext()
 	ctx.Verify = true
-	err := pipeline.Run(p, ctx, good, breaker, after)
+	err := pipeline.Run(context.Background(), p, ctx, good, breaker, after)
 	if err == nil {
 		t.Fatal("verify mode did not catch the broken pass")
 	}
@@ -66,7 +67,7 @@ func TestNoVerifyMissesBrokenPass(t *testing.T) {
 		b.Ops = append(b.Ops, b.Ops[len(b.Ops)-1])
 		return nil
 	})
-	if err := pipeline.Run(p, pipeline.NewContext(), breaker); err != nil {
+	if err := pipeline.Run(context.Background(), p, pipeline.NewContext(), breaker); err != nil {
 		t.Fatalf("unexpected error without verify: %v", err)
 	}
 }
@@ -82,7 +83,7 @@ func TestReportTimingsAndDeltas(t *testing.T) {
 	nop := pipeline.New("nop", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
 
 	ctx := pipeline.NewContext()
-	if err := pipeline.Run(p, ctx, grow, nop); err != nil {
+	if err := pipeline.Run(context.Background(), p, ctx, grow, nop); err != nil {
 		t.Fatal(err)
 	}
 	if len(ctx.Report.Passes) != 2 {
@@ -111,7 +112,7 @@ func TestDumpIRAfterEveryPass(t *testing.T) {
 	ctx.DumpIR = &sb
 	a := pipeline.New("alpha", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
 	b := pipeline.New("beta", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
-	if err := pipeline.Run(p, ctx, a, b); err != nil {
+	if err := pipeline.Run(context.Background(), p, ctx, a, b); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -127,7 +128,7 @@ func TestMetricsAndPerFunc(t *testing.T) {
 	p := mustProg(t, tinySrc)
 	count := pipeline.PerFunc("count-blocks", "blocks", func(f *ir.Func) int { return len(f.Blocks) })
 	ctx := pipeline.NewContext()
-	if err := pipeline.Run(p, ctx, count); err != nil {
+	if err := pipeline.Run(context.Background(), p, ctx, count); err != nil {
 		t.Fatal(err)
 	}
 	if got := ctx.Metric("blocks"); got == 0 {
@@ -141,7 +142,7 @@ func TestMetricsAndPerFunc(t *testing.T) {
 func TestStageRecordsIntoReport(t *testing.T) {
 	p := mustProg(t, tinySrc)
 	ctx := pipeline.NewContext()
-	if err := ctx.Stage("backend", p, func() error { return nil }); err != nil {
+	if err := ctx.Stage(context.Background(), "backend", p, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if len(ctx.Report.Passes) != 1 || ctx.Report.Passes[0].Name != "backend" {
@@ -161,7 +162,7 @@ func TestPanicInPassRecovered(t *testing.T) {
 	after := pipeline.New("after", func(p *ir.Program, ctx *pipeline.Context) error { return nil })
 
 	ctx := pipeline.NewContext()
-	err := pipeline.Run(p, ctx, boom, after)
+	err := pipeline.Run(context.Background(), p, ctx, boom, after)
 	if err == nil {
 		t.Fatal("panicking pass did not fail the pipeline")
 	}
@@ -189,7 +190,7 @@ func TestPanicInPassRecovered(t *testing.T) {
 func TestPanicInStageRecovered(t *testing.T) {
 	p := mustProg(t, tinySrc)
 	ctx := pipeline.NewContext()
-	err := ctx.Stage("tsched", p, func() error { panic("scheduler bug") })
+	err := ctx.Stage(context.Background(), "tsched", p, func() error { panic("scheduler bug") })
 	pe, ok := err.(*pipeline.PanicError)
 	if !ok {
 		t.Fatalf("want *PanicError, got %T: %v", err, err)

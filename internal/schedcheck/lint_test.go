@@ -8,6 +8,7 @@ package schedcheck_test
 // internal/core, which will itself import schedcheck.
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -42,7 +43,7 @@ func compileFile(t *testing.T, path string, cfg mach.Config, o opt.Options) *cor
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Compile(string(src), core.Options{Config: cfg, Opt: o})
+	res, err := core.Compile(context.Background(), string(src), core.Options{Config: cfg, Opt: o})
 	if err != nil {
 		t.Fatalf("%s: %v", path, err)
 	}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"github.com/multiflow-repro/trace/internal/core"
+)
+
+// flightGroup collapses concurrent compilations of the same key into one
+// pipeline execution. It is a singleflight with context-aware membership:
+// the shared compile runs on its own context, and each waiter that gives up
+// (its request canceled or timed out) leaves the flight individually — the
+// compile itself is canceled only when the last waiter has left, so one
+// impatient client cannot kill a build that nine others are still waiting
+// for.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	art     *core.Artifact
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do returns the artifact for key, starting fn at most once across all
+// concurrent callers. joined reports whether this caller attached to an
+// already-in-flight compile. A caller whose ctx ends before the compile
+// completes gets ctx.Err(); the compile keeps running for the remaining
+// waiters.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Context) (*core.Artifact, error)) (art *core.Artifact, joined bool, err error) {
+	g.mu.Lock()
+	call, ok := g.calls[key]
+	if !ok {
+		cctx, cancel := context.WithCancel(context.Background())
+		call = &flightCall{cancel: cancel, done: make(chan struct{})}
+		g.calls[key] = call
+		g.mu.Unlock()
+		go func() {
+			call.art, call.err = fn(cctx)
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(call.done)
+			cancel()
+		}()
+	} else {
+		g.mu.Unlock()
+	}
+	g.mu.Lock()
+	call.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-call.done:
+		g.mu.Lock()
+		call.waiters--
+		g.mu.Unlock()
+		return call.art, ok, call.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		call.waiters--
+		last := call.waiters == 0
+		g.mu.Unlock()
+		if last {
+			// Nobody is waiting for this compile anymore: stop it at the
+			// next pass or function boundary instead of finishing warm air.
+			call.cancel()
+		}
+		return nil, ok, ctx.Err()
+	}
+}

@@ -1,6 +1,7 @@
 package tsched
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/multiflow-repro/trace/internal/ir"
@@ -138,5 +139,5 @@ func Compile(prog *ir.Program, cfg mach.Config, prof ir.Profile) ([]*FuncCode, e
 // maxTraceBlocks = 1 restricts compaction to basic blocks. Compilation is
 // sequential; CompileParallel fans the same work out over a worker pool.
 func CompileWithLimit(prog *ir.Program, cfg mach.Config, prof ir.Profile, maxTraceBlocks int) ([]*FuncCode, error) {
-	return CompileParallel(prog, cfg, prof, CompileOptions{MaxTraceBlocks: maxTraceBlocks, Parallelism: 1})
+	return CompileParallel(context.Background(), prog, cfg, prof, CompileOptions{MaxTraceBlocks: maxTraceBlocks, Parallelism: 1})
 }

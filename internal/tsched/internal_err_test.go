@@ -1,6 +1,7 @@
 package tsched
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestWorkerPanicBecomesErrInternal(t *testing.T) {
 		prog := &ir.Program{Funcs: []*ir.Func{
 			{Name: "poisoned", Blocks: []*ir.Block{nil}},
 		}}
-		_, err := CompileParallel(prog, mach.Trace7(), ir.Profile{},
+		_, err := CompileParallel(context.Background(), prog, mach.Trace7(), ir.Profile{},
 			CompileOptions{Parallelism: jobs})
 		if err == nil {
 			t.Fatalf("j=%d: poisoned function compiled without error", jobs)

@@ -1,6 +1,7 @@
 package tsched
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -48,7 +49,13 @@ type CompileOptions struct {
 // Function compilations are independent — the only shared inputs are the
 // read-only profile and global layout — so the fan-out preserves sequential
 // results exactly; linking stays sequential in the caller.
-func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o CompileOptions) ([]*FuncCode, error) {
+//
+// ctx is checked between per-function jobs: once canceled, no new function
+// compilation starts (in-flight ones finish — a function either compiles
+// completely or not at all) and the ctx error is returned, unless an
+// earlier function had already failed on its own, in which case that error
+// wins so cancellation never masks a real diagnosis.
+func CompileParallel(ctx context.Context, prog *ir.Program, cfg mach.Config, prof ir.Profile, o CompileOptions) ([]*FuncCode, error) {
 	layout, _ := ir.LayoutGlobals(prog)
 	ladder := retryLadder(o.MaxTraceBlocks)
 
@@ -64,6 +71,9 @@ func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o Compi
 	errs := make([]error, len(prog.Funcs))
 	if workers <= 1 {
 		for i, f := range prog.Funcs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i], errs[i] = compileOne(cfg, prog, f, prof[f.Name], layout, ladder)
 		}
 	} else {
@@ -74,13 +84,21 @@ func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o Compi
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without compiling
+					}
 					f := prog.Funcs[i]
 					out[i], errs[i] = compileOne(cfg, prog, f, prof[f.Name], layout, ladder)
 				}
 			}()
 		}
+	feed:
 		for i := range prog.Funcs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
@@ -92,6 +110,9 @@ func CompileParallel(prog *ir.Program, cfg mach.Config, prof ir.Profile, o Compi
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ package tsched_test
 // actually executes correctly when the off-trace paths are taken at runtime.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/multiflow-repro/trace/internal/core"
@@ -71,7 +72,7 @@ func TestCompensationPathsExecuteCorrectly(t *testing.T) {
 	for name, src := range compensationPrograms {
 		for _, pairs := range []int{1, 2, 4} {
 			for _, lvl := range []opt.Options{opt.None(), opt.Default()} {
-				res, err := core.Compile(src, core.Options{
+				res, err := core.Compile(context.Background(), src, core.Options{
 					Config: mach.NewConfig(pairs), Opt: lvl, Parallelism: 1,
 				})
 				if err != nil {
@@ -94,7 +95,7 @@ func TestCompensationPathsExecuteCorrectly(t *testing.T) {
 			}
 		}
 		// at full width the build must actually contain compensation code
-		res, err := core.Compile(src, core.Options{Config: mach.Trace28(), Opt: opt.None(), Parallelism: 1})
+		res, err := core.Compile(context.Background(), src, core.Options{Config: mach.Trace28(), Opt: opt.None(), Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

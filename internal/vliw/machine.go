@@ -15,6 +15,7 @@ package vliw
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 
@@ -148,6 +149,31 @@ func (e *ErrCycleLimit) Error() string {
 	return fmt.Sprintf("cycle limit exceeded: %d beats at pc=%d (runaway or miscompiled program?)", e.Limit, e.PC)
 }
 
+// ErrCanceled reports that the run's context was canceled or its deadline
+// expired mid-execution. The machine checks the context once every
+// CtxCheckEvery beats, so execution stops within one check interval of the
+// cancellation; the machine state is abandoned mid-program but the Machine
+// itself stays reusable — Reset returns it to service (pools rely on this).
+// Unwrap exposes the context error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) distinguish the two causes.
+type ErrCanceled struct {
+	Beat  int64 // beat at which the cancellation was observed
+	PC    int   // program counter at that point
+	Cause error // context.Canceled or context.DeadlineExceeded
+}
+
+func (e *ErrCanceled) Error() string {
+	return fmt.Sprintf("run canceled at word=%d beat=%d: %v", e.PC, e.Beat, e.Cause)
+}
+
+func (e *ErrCanceled) Unwrap() error { return e.Cause }
+
+// DefaultCtxCheckBeats is the default cancellation-check interval for
+// RunContext: at simulator speed (~10M beats/s) it bounds the reaction time
+// to well under a millisecond while keeping the check itself unmeasurable
+// (one context poll per ~2000 executed instructions).
+const DefaultCtxCheckBeats = 4096
+
 // Trap cost model (beats), standing in for the §6.4.3 trap handler code:
 // entry/exit (register save, mode switch) plus per-miss history-queue
 // replay. "A few hand-coded instructions begin saving registers while the
@@ -225,8 +251,13 @@ type Machine struct {
 	// default; cmd/tracesim exposes it as -max-cycles and the fuzz oracle
 	// tightens it so hostile inputs terminate quickly.
 	CycleLimit int64
-	Stats      Stats
-	CheckRes   bool // verify port/bus limits (off for Ideal)
+	// CtxCheckEvery is the beat interval between context polls in
+	// RunContext (default DefaultCtxCheckBeats): a canceled run stops
+	// within one interval. Tests shrink it to make cancellation latency
+	// observable; Run (no context) never polls regardless.
+	CtxCheckEvery int64
+	Stats         Stats
+	CheckRes      bool // verify port/bus limits (off for Ideal)
 
 	// curUnit names the functional unit whose slot is executing, for fault
 	// attribution on the interlock-free datapath.
@@ -341,6 +372,7 @@ func (m *Machine) Reset(img *isa.Image) {
 	m.nextInterrupt = 0
 
 	m.CycleLimit = 2_000_000_000
+	m.CtxCheckEvery = DefaultCtxCheckBeats
 	m.CheckRes = !img.Cfg.Ideal
 	m.Stats = Stats{}
 }
@@ -467,15 +499,51 @@ func (m *Machine) PeekF(board, idx int) float64 {
 }
 
 // Run boots the machine and executes until HALT. It returns main's exit
-// value and the captured output.
-func (m *Machine) Run() (int32, string, error) {
+// value and the captured output. Run never polls a context; use RunContext
+// for cancelable execution.
+func (m *Machine) Run() (int32, string, error) { return m.run(nil) }
+
+// RunContext is Run with cooperative cancellation: the machine polls ctx
+// every CtxCheckEvery beats (at instruction boundaries) and abandons the run
+// with *ErrCanceled — wrapping ctx.Err() — within one interval of the
+// context being canceled or timing out. The poll sits outside the beat loop
+// proper, so its cost on the certified fast path is below the benchmark
+// noise floor (see BenchmarkSimulatorFastCtx).
+func (m *Machine) RunContext(ctx context.Context) (int32, string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return m.run(ctx)
+}
+
+// run is the shared boot-and-step loop; ctx == nil means no cancellation
+// polling at all (the Run path).
+func (m *Machine) run(ctx context.Context) (int32, string, error) {
 	if err := m.Img.InitMem(m.Mem); err != nil {
 		return 0, "", err
 	}
 	// Boot: SP at top of memory, PC at entry.
 	m.iregs[mach.RegSP.Board][mach.RegSP.Idx] = uint32(int64(len(m.Mem)) &^ 7)
 	m.pc = m.Img.Entry
+	ctxEvery := m.CtxCheckEvery
+	if ctxEvery <= 0 {
+		ctxEvery = DefaultCtxCheckBeats
+	}
+	// With no context the next check is pushed past any reachable beat, so
+	// the cancelable and plain paths run the identical per-instruction code:
+	// one integer compare.
+	ctxCheckAt := int64(math.MaxInt64)
+	if ctx != nil {
+		ctxCheckAt = ctxEvery
+	}
 	for !m.halted {
+		if m.beat >= ctxCheckAt {
+			if err := ctx.Err(); err != nil {
+				m.Stats.Beats = m.beat
+				return 0, m.out.String(), &ErrCanceled{Beat: m.beat, PC: m.pc, Cause: err}
+			}
+			ctxCheckAt = m.beat + ctxEvery
+		}
 		if m.beat > m.CycleLimit {
 			m.Stats.Beats = m.beat
 			return 0, m.out.String(), &ErrCycleLimit{Limit: m.CycleLimit, PC: m.pc}

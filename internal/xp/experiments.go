@@ -1,6 +1,7 @@
 package xp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
@@ -14,7 +15,7 @@ import (
 
 // ExpE1 measures the headline claim: trace-scheduled wide machines against
 // the sequential scalar machine of the same technology.
-func ExpE1() ([]*Table, error) {
+func ExpE1(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E1",
 		Title:      "speedup of trace-scheduled TRACE vs. scalar machine",
@@ -29,7 +30,7 @@ func ExpE1() ([]*Table, error) {
 		}
 		row := []string{w.Name, i64(sc.Beats)}
 		for _, cfg := range cfgs {
-			st, _, err := runOn(w, cfg, opt.Default(), true)
+			st, _, err := runOn(ctx, w, cfg, opt.Default(), true)
 			if err != nil {
 				return nil, err
 			}
@@ -45,7 +46,7 @@ func ExpE1() ([]*Table, error) {
 
 // ExpE2 reproduces the Acosta ceiling: dynamic scheduling that cannot look
 // past basic blocks.
-func ExpE2() ([]*Table, error) {
+func ExpE2(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E2",
 		Title:      "scoreboard (basic-block lookahead) vs. scalar, same datapath as 28/200",
@@ -70,7 +71,7 @@ func ExpE2() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, _, err := runOn(w, cfg, opt.Default(), true)
+		st, _, err := runOn(ctx, w, cfg, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +90,7 @@ func ExpE2() ([]*Table, error) {
 }
 
 // ExpE3 reproduces the §9 code-size components.
-func ExpE3() ([]*Table, error) {
+func ExpE3(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E3",
 		Title:      "object code size (28/200, full optimization)",
@@ -105,7 +106,7 @@ func ExpE3() ([]*Table, error) {
 			return nil, err
 		}
 		vax := baseline.VAXSize(prog)
-		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
+		res, err := core.Compile(ctx, w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +141,7 @@ func ExpE3() ([]*Table, error) {
 }
 
 // ExpE4 exercises the interleaved memory system and the disambiguator.
-func ExpE4() ([]*Table, error) {
+func ExpE4(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E4",
 		Title:      "interleaved memory: stride, bank conflicts, and the bank-stall gamble",
@@ -198,7 +199,7 @@ func main() int {
 		{unknown, noDice, "arg arrays, dice OFF (conservative)"},
 	}
 	for _, c := range cases {
-		st, _, err := runOn(c.w, c.cfg, opt.Default(), true)
+		st, _, err := runOn(ctx, c.w, c.cfg, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +227,7 @@ func main() int {
 		gcfg := mach.Trace28()
 		gcfg.Controllers = geom[0]
 		gcfg.BanksPerController = geom[1]
-		st, _, err := runOn(unit, gcfg, opt.Default(), true)
+		st, _, err := runOn(ctx, unit, gcfg, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +245,7 @@ func main() int {
 	// on the hardware bank-stall. This separates the compiler's contribution
 	// from the hardware's.
 	{
-		res, err := core.Compile(unit.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
+		res, err := core.Compile(ctx, unit.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +281,7 @@ func main() int {
 }
 
 // ExpE5 verifies the §6.3 arithmetic and reports achieved rates.
-func ExpE5() ([]*Table, error) {
+func ExpE5(ctx context.Context) ([]*Table, error) {
 	t1 := &Table{
 		ID:         "E5a",
 		Title:      "peak rates from the machine description",
@@ -299,7 +300,7 @@ func ExpE5() ([]*Table, error) {
 		Headers: []string{"kernel", "ops", "beats", "ops/instr", "MIPS", "MFLOPS"},
 	}
 	for _, w := range NumericSuite() {
-		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		st, _, err := runOn(ctx, w, mach.Trace28(), opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +314,7 @@ func ExpE5() ([]*Table, error) {
 }
 
 // ExpE6 measures the instruction cache.
-func ExpE6() ([]*Table, error) {
+func ExpE6(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E6",
 		Title:      "instruction cache: 8K instructions, mask-word refill",
@@ -321,7 +322,7 @@ func ExpE6() ([]*Table, error) {
 		Headers:    []string{"kernel", "instrs fetched", "misses", "miss rate", "refill beats", "refill share"},
 	}
 	for _, w := range []Workload{daxpy, matmul, scanner, sortW} {
-		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		st, _, err := runOn(ctx, w, mach.Trace28(), opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -338,7 +339,7 @@ func ExpE6() ([]*Table, error) {
 }
 
 // ExpE7 computes the context-switch cost from the machine description.
-func ExpE7() ([]*Table, error) {
+func ExpE7(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E7",
 		Title:      "context switch: full register save/restore through the memory system",
@@ -391,7 +392,7 @@ func ExpE7() ([]*Table, error) {
 	}
 	{
 		cfg := mach.Trace28()
-		res, err := core.Compile(daxpy.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
+		res, err := core.Compile(ctx, daxpy.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -435,7 +436,7 @@ func ExpE7() ([]*Table, error) {
 	}
 	cfg := mach.Trace28()
 	for _, w := range []Workload{fir, scanner} {
-		res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
+		res, err := core.Compile(ctx, w.Src, core.Options{Config: cfg, Opt: opt.Default(), Parallelism: Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -480,7 +481,7 @@ func ExpE7() ([]*Table, error) {
 }
 
 // ExpE8 measures the multiway branch.
-func ExpE8() ([]*Table, error) {
+func ExpE8(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E8",
 		Title:      "multiway branch: packing several tests per instruction",
@@ -508,7 +509,7 @@ func main() int {
 	off := on
 	off.MultiwayBranch = false
 	for _, w := range []Workload{classify, scanner, sortW, hashW, listW} {
-		stOn, resOn, err := runOn(w, on, opt.Default(), true)
+		stOn, resOn, err := runOn(ctx, w, on, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -524,7 +525,7 @@ func main() int {
 				multi++
 			}
 		}
-		stOff, _, err := runOn(w, off, opt.Default(), true)
+		stOff, _, err := runOn(ctx, w, off, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -541,7 +542,7 @@ func main() int {
 }
 
 // ExpE9 measures the §7 speculative loads.
-func ExpE9() ([]*Table, error) {
+func ExpE9(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E9",
 		Title:      "non-trapping speculative LOAD opcodes",
@@ -552,11 +553,11 @@ func ExpE9() ([]*Table, error) {
 	off := on
 	off.SpeculativeLoads = false
 	for _, w := range []Workload{daxpy, dot, fir, livermore} {
-		stOn, _, err := runOn(w, on, opt.Default(), true)
+		stOn, _, err := runOn(ctx, w, on, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
-		stOff, _, err := runOn(w, off, opt.Default(), true)
+		stOff, _, err := runOn(ctx, w, off, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -571,7 +572,7 @@ func ExpE9() ([]*Table, error) {
 }
 
 // ExpE10 measures compensation-code growth against unrolling.
-func ExpE10() ([]*Table, error) {
+func ExpE10(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E10",
 		Title:      "code growth: trace selection, compensation, unrolling (28/200, daxpy+sort)",
@@ -581,7 +582,7 @@ func ExpE10() ([]*Table, error) {
 	for _, w := range []Workload{daxpy, sortW} {
 		for _, u := range []int{1, 2, 4, 8, 16} {
 			lvl := opt.Options{Inline: true, UnrollFactor: u}
-			res, err := core.Compile(w.Src, core.Options{Config: mach.Trace28(), Opt: lvl, Profile: core.ProfileRun, Parallelism: Parallelism})
+			res, err := core.Compile(ctx, w.Src, core.Options{Config: mach.Trace28(), Opt: lvl, Profile: core.ProfileRun, Parallelism: Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -602,7 +603,7 @@ func ExpE10() ([]*Table, error) {
 }
 
 // ExpE11 measures the TLB trap-and-replay machinery.
-func ExpE11() ([]*Table, error) {
+func ExpE11(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E11",
 		Title:      "data TLB misses and history-queue replay",
@@ -625,7 +626,7 @@ func main() int {
 		{mk("sequential 512KB", 1, 65536), 64},
 		{mk("page-stride", 1024, 512), 64},
 	} {
-		st, _, err := runOn(c.w, mach.Trace28(), opt.Default(), false)
+		st, _, err := runOn(ctx, c.w, mach.Trace28(), opt.Default(), false)
 		if err != nil {
 			return nil, err
 		}
@@ -639,7 +640,7 @@ func main() int {
 }
 
 // ExpE12 measures systems code.
-func ExpE12() ([]*Table, error) {
+func ExpE12(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E12",
 		Title:      "systems code: branchy, pointer-heavy kernels (28/200)",
@@ -651,7 +652,7 @@ func ExpE12() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		st, _, err := runOn(ctx, w, mach.Trace28(), opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -665,7 +666,7 @@ func ExpE12() ([]*Table, error) {
 
 // ExpF1 compares the Figure-1 ideal machine against the real partitioned
 // one.
-func ExpF1() ([]*Table, error) {
+func ExpF1(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "F1",
 		Title:      "ideal central-register-file VLIW vs. the partitioned TRACE",
@@ -675,15 +676,15 @@ func ExpF1() ([]*Table, error) {
 	noSpread := mach.Trace28()
 	noSpread.NoSpread = true
 	for _, w := range []Workload{daxpy, dot, matmul, scanner} {
-		stI, _, err := runOn(w, mach.IdealConfig(4), opt.Default(), true)
+		stI, _, err := runOn(ctx, w, mach.IdealConfig(4), opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
-		stR, _, err := runOn(w, mach.Trace28(), opt.Default(), true)
+		stR, _, err := runOn(ctx, w, mach.Trace28(), opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
-		stN, _, err := runOn(w, noSpread, opt.Default(), true)
+		stN, _, err := runOn(ctx, w, noSpread, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}
@@ -703,7 +704,7 @@ func ExpF1() ([]*Table, error) {
 // ExpE13 is the ablation the paper's §10 promises as future work:
 // separating the speedup due to trace scheduling (compaction past basic
 // blocks) from the speedup of the wide machine with block-local scheduling.
-func ExpE13() ([]*Table, error) {
+func ExpE13(ctx context.Context) ([]*Table, error) {
 	t := &Table{
 		ID:         "E13",
 		Title:      "ablation: trace scheduling vs. basic-block compaction (28/200)",
@@ -716,16 +717,17 @@ func ExpE13() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		blocksRes, err := core.Compile(w.Src, core.Options{
+		blocksArt, err := core.Build(ctx, w.Src, core.Options{
 			Config: cfg, Opt: opt.Default(), Profile: core.ProfileRun, MaxTraceBlocks: 1, Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
-		_, _, stB, err := core.Run(blocksRes)
+		blocksRun, err := blocksArt.Run(ctx, core.RunOptions{Fast: Fast})
 		if err != nil {
 			return nil, err
 		}
-		stT, _, err := runOn(w, cfg, opt.Default(), true)
+		stB := &blocksRun.Stats
+		stT, _, err := runOn(ctx, w, cfg, opt.Default(), true)
 		if err != nil {
 			return nil, err
 		}

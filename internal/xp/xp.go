@@ -1,6 +1,7 @@
 package xp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -84,11 +85,13 @@ func dashes(widths []int) []string {
 	return out
 }
 
-// Experiment is a registered experiment.
+// Experiment is a registered experiment. Run takes the harness context:
+// canceling it (cmd/tracebench wires SIGINT) stops the experiment at the
+// next compile-pass or simulation-check boundary.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() ([]*Table, error)
+	Run   func(ctx context.Context) ([]*Table, error)
 }
 
 // Registry returns every experiment in presentation order.
@@ -112,11 +115,11 @@ func Registry() []Experiment {
 }
 
 // RunByID runs one experiment ("e1".."e12", "f1") or all of them ("all").
-func RunByID(id string) ([]*Table, error) {
+func RunByID(ctx context.Context, id string) ([]*Table, error) {
 	if id == "all" {
 		var out []*Table
 		for _, e := range Registry() {
-			ts, err := e.Run()
+			ts, err := e.Run(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", e.ID, err)
 			}
@@ -126,7 +129,7 @@ func RunByID(id string) ([]*Table, error) {
 	}
 	for _, e := range Registry() {
 		if e.ID == id {
-			return e.Run()
+			return e.Run(ctx)
 		}
 	}
 	var ids []string
@@ -138,31 +141,28 @@ func RunByID(id string) ([]*Table, error) {
 }
 
 // runOn compiles and simulates a workload, returning the run statistics.
-func runOn(w Workload, cfg mach.Config, lvl opt.Options, profRun bool) (*vliw.Stats, *core.Result, error) {
+func runOn(ctx context.Context, w Workload, cfg mach.Config, lvl opt.Options, profRun bool) (*vliw.Stats, *core.Result, error) {
 	prof := core.ProfileHeuristic
 	if profRun {
 		prof = core.ProfileRun
 	}
-	res, err := core.Compile(w.Src, core.Options{Config: cfg, Opt: lvl, Profile: prof, Parallelism: Parallelism})
+	art, err := core.Build(ctx, w.Src, core.Options{Config: cfg, Opt: lvl, Profile: prof, Parallelism: Parallelism})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	wantV, wantOut, err := core.Interpret(res)
+	wantV, wantOut, err := core.Interpret(art.Result())
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: interpret: %w", w.Name, err)
 	}
-	run := core.Run
-	if Fast {
-		run = core.RunFast
-	}
-	v, out, st, err := run(res)
+	run, err := art.Run(ctx, core.RunOptions{Fast: Fast})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: simulate: %w", w.Name, err)
 	}
-	if v != wantV || out != wantOut {
-		return nil, nil, fmt.Errorf("%s: simulator diverged from reference (%d vs %d)", w.Name, v, wantV)
+	if run.Exit != wantV || run.Output != wantOut {
+		return nil, nil, fmt.Errorf("%s: simulator diverged from reference (%d vs %d)", w.Name, run.Exit, wantV)
 	}
-	return st, res, nil
+	st := run.Stats
+	return &st, art.Result(), nil
 }
 
 func scalarBeats(w Workload, cfg mach.Config) (baseline.Result, error) {

@@ -1,6 +1,7 @@
 package xp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ import (
 func TestWorkloadsCompileAndAgree(t *testing.T) {
 	for _, w := range AllWorkloads() {
 		t.Run(w.Name, func(t *testing.T) {
-			if _, _, err := runOn(w, mach.Trace28(), opt.Default(), true); err != nil {
+			if _, _, err := runOn(context.Background(), w, mach.Trace28(), opt.Default(), true); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -42,7 +43,7 @@ func TestRegistryIDsUniqueAndRunnable(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if _, err := RunByID("nope"); err == nil {
+	if _, err := RunByID(context.Background(), "nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
 }
@@ -70,7 +71,7 @@ func TestExperimentShapes(t *testing.T) {
 	}
 
 	t.Run("E2_scoreboard_below_trace", func(t *testing.T) {
-		tables, err := ExpE2()
+		tables, err := ExpE2(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("E7_context_switch_flat", func(t *testing.T) {
-		tables, err := ExpE7()
+		tables, err := ExpE7(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("E7_tags_and_dma", func(t *testing.T) {
-		tables, err := ExpE7()
+		tables, err := ExpE7(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("E13_traces_dominate_blocks", func(t *testing.T) {
-		tables, err := ExpE13()
+		tables, err := ExpE13(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("E9_speculation_helps_streaming", func(t *testing.T) {
-		tables, err := ExpE9()
+		tables, err := ExpE9(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("F1_partition_cost_small", func(t *testing.T) {
-		tables, err := ExpF1()
+		tables, err := ExpF1(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func TestExperimentShapes(t *testing.T) {
 	})
 
 	t.Run("E5_peaks_match_paper", func(t *testing.T) {
-		tables, err := ExpE5()
+		tables, err := ExpE5(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

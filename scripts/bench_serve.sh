@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tracked serving benchmark: runs BenchmarkServeCachedRun (steady-state /run
+# throughput on the cached+memoized path over real HTTP) and
+# BenchmarkServeColdCompile with fixed -benchtime/-count so runs are
+# comparable across commits, then emits BENCH_serve.json via benchjson.
+# The acceptance floor for ServeCachedRun is 1000 req/s on examples/fib.mf.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_serve.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Serve' -benchtime=2s -count=3 -benchmem ./internal/serve | tee "$raw"
+go run ./cmd/benchjson -o "$out" "$raw"
+echo "wrote $out"

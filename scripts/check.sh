@@ -30,6 +30,27 @@ go test -run TestFastCheckedAgree -count=1 .
 echo "== tracefuzz smoke (deterministic differential run)"
 go run ./cmd/tracefuzz -seed 1 -n 200
 
+echo "== tracesrv smoke (compile/run/lint round-trips + graceful shutdown)"
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/tracesrv" ./cmd/tracesrv
+go build -o "$bin/srvsmoke" ./cmd/srvsmoke
+"$bin/tracesrv" -addr 127.0.0.1:0 -port-file "$bin/port" &
+srv=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+	[ -s "$bin/port" ] && break
+	sleep 0.25
+done
+[ -s "$bin/port" ] || { echo "tracesrv: never wrote port file"; kill "$srv" 2>/dev/null; exit 1; }
+"$bin/srvsmoke" -addr "$(cat "$bin/port")" -src examples/fib.mf
+kill -TERM "$srv"
+if wait "$srv"; then
+	echo "tracesrv: drained cleanly"
+else
+	echo "tracesrv: non-zero exit on SIGTERM drain"
+	exit 1
+fi
+
 echo "== go test -fuzz (10s per target)"
 go test ./internal/fuzz -run=^$ -fuzz=FuzzDifferential -fuzztime=10s
 go test ./internal/fuzz -run=^$ -fuzz=FuzzGen -fuzztime=10s

@@ -15,8 +15,17 @@
 //
 // Quick start:
 //
-//	res, err := trace.Compile(src, trace.Options{})
-//	exit, output, stats, err := trace.Run(res)
+//	art, err := trace.Build(ctx, src, trace.Options{})
+//	res, err := art.Run(ctx, trace.RunOptions{})
+//	fmt.Println(res.Exit, res.Output, res.Stats.Beats)
+//
+// Build returns an *Artifact — an immutable, concurrency-safe compiled
+// program that bundles the image, the pass report, the lazily-minted
+// fast-path Certificate (Artifact.Certificate), static verification
+// (Artifact.Lint), and execution (Artifact.Run, checked or certified-fast
+// via RunOptions.Fast). Every entry point takes a context.Context honored
+// at pass boundaries during compilation and at beat granularity during
+// simulation.
 //
 // Machine configurations mirror the product line: Trace7(), Trace14(), and
 // Trace28() give the 1-, 2-, and 4-pair machines (256/512/1024-bit
@@ -24,9 +33,24 @@
 // The baselines of the paper's argument — a scalar machine of the same
 // technology and a basic-block-limited scoreboard machine — are exposed via
 // RunScalar and RunScoreboard.
+//
+// # Migrating from the pre-Artifact API
+//
+// The original function sprawl survives as thin deprecated wrappers, so
+// existing callers build unchanged:
+//
+//	trace.Compile(src, o)      ->  trace.Build(ctx, src, o)
+//	trace.Run(res)             ->  artifact.Run(ctx, trace.RunOptions{})
+//	trace.RunFast(res)         ->  artifact.Run(ctx, trace.RunOptions{Fast: true})
+//	trace.Certify(res)         ->  artifact.Certificate()
+//	trace.NewMachine(res)      ->  artifact.Machine()
+//
+// The wrappers compile with context.Background() — they cannot be
+// canceled. New code should use Build.
 package trace
 
 import (
+	"context"
 	"io"
 
 	"github.com/multiflow-repro/trace/internal/baseline"
@@ -171,23 +195,65 @@ func (o Options) toCore() core.Options {
 	}
 }
 
+// Artifact is an immutable compiled program: the executable image plus the
+// pass report, the lazily-minted fast-path Certificate, and static
+// verification, with execution as a method. Artifacts are safe for
+// concurrent use — the compiler statically owns every machine resource
+// (§4), so a linked image never changes, which is what makes artifacts
+// content-addressable and shareable across concurrent runs (see
+// internal/serve, cmd/tracesrv).
+type Artifact = core.Artifact
+
+// RunOptions configures one Artifact.Run: checked vs certified-fast mode
+// and the beat budget.
+type RunOptions = core.RunOptions
+
+// ExitResult is one completed execution: exit value, captured output, and
+// performance counters.
+type ExitResult = core.ExitResult
+
+// Build compiles MF source text for the configured machine into an
+// Artifact. The context is honored at compiler pass boundaries and between
+// per-function backend jobs: a canceled build stops at the next boundary
+// with an error satisfying errors.Is(err, ctx.Err()).
+func Build(ctx context.Context, src string, o Options) (*Artifact, error) {
+	return core.Build(ctx, src, o.toCore())
+}
+
+// BuildFile is Build for source read from a named file; frontend
+// diagnostics render as "name:line:col: message".
+func BuildFile(ctx context.Context, name, src string, o Options) (*Artifact, error) {
+	return core.BuildFile(ctx, name, src, o.toCore())
+}
+
 // Compile compiles MF source text for the configured machine.
+//
+// Deprecated: use Build, which takes a context.Context and returns an
+// *Artifact bundling execution, certification, and lint. Compile cannot be
+// canceled.
 func Compile(src string, o Options) (*Result, error) {
-	return core.Compile(src, o.toCore())
+	return core.Compile(context.Background(), src, o.toCore())
 }
 
 // Run executes a compiled program on a fresh machine, returning the exit
 // value, printed output, and performance counters.
+//
+// Deprecated: use Artifact.Run (checked mode is the zero RunOptions), which
+// takes a context.Context and supports pooled machines via Artifact.RunOn.
 func Run(res *Result) (int32, string, *Stats, error) {
 	return core.Run(res)
 }
 
 // Certificate is proof that a compiled image passed whole-image static
 // verification of the no-interlock schedule contract with no errors; it
-// authorizes the simulator's fast path (RunFast, Machine.UseCertificate).
+// authorizes the simulator's fast path (RunOptions.Fast,
+// Machine.UseCertificate).
 type Certificate = schedcheck.Certificate
 
 // Certify statically verifies the compiled image and mints a Certificate.
+//
+// Deprecated: use Artifact.Certificate, which mints once and caches the
+// certificate on the artifact for every subsequent fast run.
 func Certify(res *Result) (*Certificate, error) {
 	return core.Certify(res)
 }
@@ -196,12 +262,17 @@ func Certify(res *Result) (*Certificate, error) {
 // is statically verified once (Certify), then the machine skips its
 // per-beat dynamic resource and write-race checks. Exit value, output, and
 // statistics are identical to Run — only the checking mode differs.
+//
+// Deprecated: use Artifact.Run with RunOptions{Fast: true}, which reuses
+// the artifact's cached Certificate instead of re-verifying per call.
 func RunFast(res *Result) (int32, string, *Stats, error) {
 	return core.RunFast(res)
 }
 
 // NewMachine returns a machine for the compiled image, for callers who want
 // to instrument execution (watchpoints, instruction traces, beat limits).
+//
+// Deprecated: use Artifact.Machine.
 func NewMachine(res *Result) *Machine {
 	return vliw.New(res.Image)
 }
