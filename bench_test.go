@@ -435,6 +435,39 @@ func BenchmarkSimulatorFastCtx(b *testing.B) {
 	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
 }
 
+// BenchmarkSimulatorContexts measures the checked interpreter time-sharing
+// four copies of the workload as hardware contexts on one machine. The
+// reported beats/s counts per-context (architectural) beats, so it is
+// directly comparable to BenchmarkSimulator: the gap between the two is the
+// whole cost of the context scheduler, and wall-clock/work tracks how much
+// stall time the machine hid by rotating contexts.
+func BenchmarkSimulatorContexts(b *testing.B) {
+	res := mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	imgs := []*isa.Image{res.Image, res.Image, res.Image, res.Image}
+	m := NewMachine(res)
+	ctx := context.Background()
+	var work, wall int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ResetMany(imgs); err != nil {
+			b.Fatal(err)
+		}
+		rs, err := m.RunMany(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			work += r.Stats.Beats
+		}
+		wall += m.Sched.TotalBeats
+	}
+	b.ReportMetric(float64(work)/b.Elapsed().Seconds(), "beats/s")
+	b.ReportMetric(float64(wall)/float64(work), "wall-beats/work-beat")
+}
+
 // BenchmarkSimulatorFast measures the certified fast path on the same
 // workload: the image is certified once (outside the timed region) and the
 // machine skips the per-beat dynamic resource and race checks.

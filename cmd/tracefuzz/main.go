@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-v]
+//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-timeshare] [-v]
 //
 // The run is deterministic: the same -seed and -n always test the same
 // programs, and a reported seed is a complete reproduction recipe.
+// With -timeshare, a clean campaign is followed by the multi-context stage:
+// the same generated programs run again time-shared four to a machine, and
+// every program must reproduce its solo exit, output, and stats exactly.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker pool size (0 = one per CPU)")
 	refSteps := flag.Int64("ref-steps", 0, "reference interpreter op budget (0 = default)")
 	fast := flag.Bool("fast", false, "run images on the certified fast path (lint stage carries the legality burden)")
+	timeshare := flag.Bool("timeshare", false, "also run the generated programs time-shared K=4 and require solo-identical results")
 	verbose := flag.Bool("v", false, "print every seed's outcome")
 	flag.Parse()
 	if *jobs <= 0 {
@@ -110,5 +114,24 @@ func main() {
 	fmt.Printf("tracefuzz: %d seeds: %d ok, %d skipped, %d diverged\n", *n, ok, skipped, len(bad))
 	if len(bad) > 0 {
 		os.Exit(1)
+	}
+
+	if *timeshare && ctx.Err() == nil {
+		fmt.Printf("tracefuzz: timeshare stage: seeds %d..%d in batches of 4\n", *seed, *seed+*n-1)
+		err := fuzz.CheckTimeshareSeeds(ctx, *seed, *n, opts)
+		switch {
+		case err == nil:
+			fmt.Println("tracefuzz: timeshare stage: solo and time-shared runs identical")
+		case err == fuzz.ErrSkip:
+			fmt.Println("tracefuzz: timeshare stage: no program survived to compare")
+		case errors.Is(err, context.Canceled):
+			// interrupted: not a finding
+		default:
+			fmt.Fprintf(os.Stderr, "\ntimeshare: %v\n", err)
+			if d, isDiv := err.(*fuzz.Divergence); isDiv {
+				fmt.Fprintf(os.Stderr, "--- program ---\n%s\n", d.Src)
+			}
+			os.Exit(1)
+		}
 	}
 }

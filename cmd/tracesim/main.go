@@ -4,7 +4,14 @@
 // Usage:
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
-//	         [-trace] [-baselines] [-fast|-checked] [-max-cycles N] prog.mf
+//	         [-trace] [-baselines] [-fast|-checked] [-max-cycles N]
+//	         [-contexts K] [-quantum N] [-switch-beats N] prog.mf [prog2.mf ...]
+//
+// With -contexts K (or several source files), the programs time-share one
+// simulated CPU on K hardware contexts: each context's results and stats
+// are identical to a solo run, and the scheduler summary shows how much
+// stall latency the time-sharing hid. A single file with -contexts K runs
+// K copies of that program.
 package main
 
 import (
@@ -34,13 +41,24 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
 	fast := flag.Bool("fast", false, "certify the image statically and skip dynamic resource checks")
 	checked := flag.Bool("checked", true, "run with per-beat dynamic resource checking (the default)")
+	contexts := flag.Int("contexts", 0, "hardware contexts: time-share K programs (or K copies of one) on one machine")
+	quantum := flag.Int64("quantum", 0, "context-scheduler timeslice in beats (0 = default)")
+	switchBeats := flag.Int64("switch-beats", 0, "wall-clock beats charged per context rotation")
 	flag.Parse()
 	if *fast && isFlagSet("checked") && *checked {
 		fmt.Fprintln(os.Stderr, "tracesim: -fast and -checked are mutually exclusive")
 		os.Exit(2)
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] prog.mf [prog2.mf ...]")
+		os.Exit(2)
+	}
+	if *contexts < 0 || *contexts > 255 {
+		fmt.Fprintln(os.Stderr, "tracesim: -contexts out of range (0-255)")
+		os.Exit(2)
+	}
+	if *contexts > 0 && flag.NArg() > 1 && *contexts != flag.NArg() {
+		fmt.Fprintf(os.Stderr, "tracesim: -contexts %d does not match %d source files\n", *contexts, flag.NArg())
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -72,6 +90,17 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if k := max(*contexts, flag.NArg()); k > 1 {
+		runContexts(ctx, art, k, core.Options{
+			Config: cfg, Opt: lvl, Profile: mode,
+			Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
+		}, runManyFlags{
+			fast: *fast, maxCycles: *maxCycles,
+			quantum: *quantum, switchBeats: *switchBeats,
+		})
+		return
 	}
 
 	m := art.Machine()
@@ -140,6 +169,107 @@ func main() {
 		fmt.Printf("scoreboard:  %d beats (speedup over scalar %.2fx)\n", sb.Beats,
 			float64(sc.Beats)/float64(sb.Beats))
 	}
+}
+
+// runManyFlags carries the time-sharing knobs into runContexts.
+type runManyFlags struct {
+	fast        bool
+	maxCycles   int64
+	quantum     int64
+	switchBeats int64
+}
+
+// runContexts executes k programs on k hardware contexts of one machine:
+// the files named on the command line, or k copies of the single file. It
+// prints each context's output, a per-context stats table (each row is
+// exactly what a solo run of that program would report), and the machine
+// scheduler's summary.
+func runContexts(ctx context.Context, first *core.Artifact, k int, copts core.Options, rf runManyFlags) {
+	names := make([]string, k)
+	arts := make([]*core.Artifact, k)
+	if flag.NArg() == 1 {
+		for i := range arts {
+			names[i] = flag.Arg(0)
+			arts[i] = first
+		}
+	} else {
+		built := map[string]*core.Artifact{flag.Arg(0): first}
+		for i := 0; i < k; i++ {
+			name := flag.Arg(i)
+			names[i] = name
+			if a, ok := built[name]; ok {
+				arts[i] = a
+				continue
+			}
+			src, err := os.ReadFile(name)
+			if err != nil {
+				fatal(err)
+			}
+			a, err := core.BuildFile(ctx, name, string(src), copts)
+			if err != nil {
+				fatal(err)
+			}
+			built[name] = a
+			arts[i] = a
+		}
+	}
+
+	m := arts[0].Machine()
+	if rf.maxCycles > 0 {
+		m.CycleLimit = rf.maxCycles
+	}
+	rs, sched, err := core.RunManyOn(ctx, m, arts, core.RunManyOptions{
+		Fast: rf.fast, Quantum: rf.quantum, SwitchBeats: rf.switchBeats,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tracesim: interrupted:", err)
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	for i, r := range rs {
+		if r.Output != "" {
+			fmt.Printf("--- context %d: %s ---\n%s", i, names[i], r.Output)
+		}
+	}
+	fmt.Printf("ctx  program               exit      beats     instrs  ops/instr   MIPS  stalls  status\n")
+	var sum int64
+	failed := false
+	for i, r := range rs {
+		st := r.Stats
+		sum += st.Beats
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+			failed = true
+		}
+		opi := 0.0
+		if st.Instrs > 0 {
+			opi = float64(st.Ops) / float64(st.Instrs)
+		}
+		fmt.Printf("%3d  %-20s %5d %10d %10d %10.2f %6.1f %7d  %s\n",
+			i, trunc(names[i], 20), r.Exit, st.Beats, st.Instrs, opi, st.MIPS(), st.BankStalls, status)
+	}
+	fmt.Printf("scheduler:   %d contexts, %d wall-clock beats (%.2f ms)\n",
+		sched.Contexts, sched.TotalBeats, float64(sched.TotalBeats)*mach.BeatNs/1e6)
+	fmt.Printf("             %d busy, %d stall beats hidden, %d switches costing %d beats\n",
+		sched.BusyBeats, sched.HiddenBeats, sched.Switches, sched.SwitchBeats)
+	if sched.TotalBeats > 0 {
+		fmt.Printf("             sequential sum %d beats -> %.3fx wall-clock speedup\n",
+			sum, float64(sum)/float64(sched.TotalBeats))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n+3:]
 }
 
 func fatal(err error) {

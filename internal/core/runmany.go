@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/multiflow-repro/trace/internal/isa"
+	"github.com/multiflow-repro/trace/internal/vliw"
+)
+
+// RunManyOptions configures one time-shared execution of several artifacts
+// on a single machine's hardware contexts.
+type RunManyOptions struct {
+	// Fast puts every context whose artifact certifies onto the certified
+	// fast path. Unlike RunOptions.Fast this is all-or-nothing per call:
+	// if any artifact in the batch fails to certify, RunMany errors rather
+	// than silently mixing checked and fast tenants.
+	Fast bool
+	// MaxCycles overrides the per-context beat budget (0 keeps the
+	// default). A context exceeding it retires with *vliw.ErrCycleLimit in
+	// its ManyResult; the rest run on.
+	MaxCycles int64
+	// Quantum overrides the scheduler's round-robin timeslice in beats
+	// (0 keeps the image configuration's CtxQuantum, default 2048).
+	Quantum int64
+	// SwitchBeats overrides the wall-clock cost per context rotation
+	// (0 keeps the configuration's CtxSwitchBeats, default 0).
+	SwitchBeats int64
+}
+
+// ManyResult is one context's completed execution within a RunMany batch.
+// Err is per-context: a trap or cycle-limit there retires that context
+// alone and does not disturb its neighbors.
+type ManyResult struct {
+	Exit   int32
+	Output string
+	Stats  vliw.Stats
+	Fast   bool
+	Err    error
+}
+
+// RunMany time-shares the artifacts' programs on one simulated CPU, one
+// hardware context each, and returns their per-context results (solo-
+// equivalent: identical to what each program would produce running alone)
+// plus the machine-level scheduler counters. Every artifact must target the
+// same machine configuration. The returned error covers whole-machine
+// failures only — mixed configurations, certification failure, boot errors,
+// cancellation; per-program traps land in the matching ManyResult.Err.
+func RunMany(ctx context.Context, arts []*Artifact, o RunManyOptions) ([]ManyResult, vliw.SchedStats, error) {
+	if len(arts) == 0 {
+		return nil, vliw.SchedStats{}, fmt.Errorf("core: RunMany needs at least one artifact")
+	}
+	return RunManyOn(ctx, vliw.New(arts[0].Image()), arts, o)
+}
+
+// RunManyOn is RunMany on a caller-provided machine, which is ResetMany
+// onto the artifacts' images first. Callers serving many batches pool
+// machines exactly as they do for RunOn; an artifact may appear several
+// times in the batch (its decoded plan is shared across those contexts).
+func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunManyOptions) ([]ManyResult, vliw.SchedStats, error) {
+	imgs := make([]*isa.Image, len(arts))
+	for i, a := range arts {
+		imgs[i] = a.Image()
+	}
+	if err := m.ResetMany(imgs); err != nil {
+		return nil, vliw.SchedStats{}, err
+	}
+	if o.MaxCycles > 0 {
+		m.CycleLimit = o.MaxCycles
+	}
+	if o.Quantum > 0 {
+		m.Quantum = o.Quantum
+	}
+	if o.SwitchBeats > 0 {
+		m.SwitchBeats = o.SwitchBeats
+	}
+	if o.Fast {
+		certified := make(map[*isa.Image]bool, len(arts))
+		for i, a := range arts {
+			if certified[a.Image()] {
+				continue
+			}
+			cert, err := a.Certificate()
+			if err != nil {
+				return nil, vliw.SchedStats{}, fmt.Errorf("fast path (context %d): %w", i, err)
+			}
+			if err := m.UseCertificate(cert); err != nil {
+				return nil, vliw.SchedStats{}, err
+			}
+			certified[a.Image()] = true
+		}
+	}
+	crs, err := m.RunMany(ctx)
+	if crs == nil {
+		return nil, m.Sched, err
+	}
+	ctxs := m.Contexts()
+	rs := make([]ManyResult, len(crs))
+	for i, cr := range crs {
+		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Fast: ctxs[i].Fast(), Err: cr.Err}
+	}
+	return rs, m.Sched, err
+}

@@ -46,6 +46,31 @@ func TestOracleCleanOnSeeds(t *testing.T) {
 	}
 }
 
+// TestTimeshareCleanOnSeeds runs the multi-context stage over a seed range,
+// checked and fast: every generated program must reproduce its solo exit,
+// output, and counters when time-shared four to a machine. A divergence is
+// a context-scheduler bug by definition — the solo runs already agreed with
+// the reference oracle.
+func TestTimeshareCleanOnSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full timeshare oracle is slow")
+	}
+	for _, fast := range []bool{false, true} {
+		if err := CheckTimeshareSeeds(context.Background(), 1, 8, Options{Fast: fast}); err != nil && !errors.Is(err, ErrSkip) {
+			t.Errorf("fast=%v: %v", fast, err)
+		}
+	}
+}
+
+// TestTimeshareSkipsRejectedInput: inputs with no surviving solo reference
+// are a skip, not a finding.
+func TestTimeshareSkipsRejectedInput(t *testing.T) {
+	err := CheckTimeshare(context.Background(), []string{"", "not a program"}, Options{})
+	if !errors.Is(err, ErrSkip) {
+		t.Errorf("CheckTimeshare(garbage) = %v, want ErrSkip", err)
+	}
+}
+
 // TestOracleSkipsRejectedInput: inputs the frontend rejects are skips, not
 // findings — the compiler diagnosing garbage is correct behavior.
 func TestOracleSkipsRejectedInput(t *testing.T) {

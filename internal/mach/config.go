@@ -74,6 +74,25 @@ type Config struct {
 	// Instruction cache (§6.5): 8K instructions, virtually addressed.
 	ICacheInstrs int
 
+	// Hardware contexts (§8.1). The paper sells near-instant context
+	// switching; these knobs describe how many resident program contexts
+	// the machine time-shares and what the scheduler charges for rotating
+	// between them.
+	//
+	// Contexts is the number of resident hardware contexts (register
+	// banks + PC + write pipelines). 0 or 1 means a conventional
+	// single-program machine.
+	Contexts int
+	// CtxQuantum is the round-robin timeslice in beats: a context that
+	// executes this many beats without halting or stalling is rotated out.
+	// 0 selects DefaultCtxQuantum.
+	CtxQuantum int
+	// CtxSwitchBeats is the machine-clock cost of one context rotation.
+	// The default 0 models the paper's claim that with per-context
+	// register banks and tagged caches/TLBs a switch costs essentially
+	// nothing; raise it to model state spill through the memory system.
+	CtxSwitchBeats int
+
 	// Ideal, when set, models the Figure-1 "ideal VLIW": one central
 	// register file with unbounded ports and buses; only functional-unit
 	// counts and latencies constrain the schedule. Used by experiment F1.
@@ -138,6 +157,8 @@ func NewConfig(pairs int) Config {
 		PABuses:    4,
 
 		ICacheInstrs: 8192,
+
+		Contexts: 1,
 
 		RollTheDice:      true,
 		SpeculativeLoads: true,
@@ -218,6 +239,12 @@ func (c Config) Validate() error {
 	}
 	if c.LatIMul < 1 || c.LatIDiv < 1 {
 		return fmt.Errorf("mach: integer multiply/divide latencies must be positive")
+	}
+	if c.Contexts < 0 || c.Contexts > 255 {
+		return fmt.Errorf("mach: %d hardware contexts out of range", c.Contexts)
+	}
+	if c.CtxQuantum < 0 || c.CtxSwitchBeats < 0 {
+		return fmt.Errorf("mach: context quantum and switch cost must be non-negative")
 	}
 	return nil
 }

@@ -62,6 +62,72 @@ func BenchmarkServeCachedRun(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// benchRunMany drives POST /runmany with four distinct cached tenants under
+// the given tenancy. Batch results are not memoized, so every request pays
+// for real simulation — this benchmark compares the two tenancy modes'
+// serving cost on identical work: "contexts" holds one pooled machine and
+// time-shares it; "machines" holds four machines and runs them in parallel
+// goroutines.
+func benchRunMany(b *testing.B, tenancy string) {
+	srcs := make([]RunManyProgram, 4)
+	for i := range srcs {
+		srcs[i].Source = fmt.Sprintf(`
+func main() int {
+	var s int = %d
+	for (var i int = 0; i < 600; i = i + 1) { s = s + i*i + %d }
+	print_i(s)
+	return s & 255
+}`, i, i)
+	}
+	s := New(Config{Parallelism: 8})
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	body, err := json.Marshal(RunManyRequest{
+		Programs: srcs,
+		Run:      RunManyRunOptions{Fast: true, Tenancy: tenancy},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	do := func(client *http.Client) error {
+		resp, err := client.Post(hs.URL+"/runmany", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var rr RunManyResponse
+		return json.NewDecoder(resp.Body).Decode(&rr)
+	}
+	if err := do(http.DefaultClient); err != nil {
+		b.Fatal(err) // warm the artifact cache
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			if err := do(client); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(4*float64(b.N)/b.Elapsed().Seconds(), "tenants/s")
+}
+
+// BenchmarkServeRunManyContexts: K=4 tenants time-shared on one pooled
+// machine per request.
+func BenchmarkServeRunManyContexts(b *testing.B) { benchRunMany(b, "contexts") }
+
+// BenchmarkServeRunManyMachines: the same K=4 tenants on four pooled
+// machines per request (the pre-contexts serving model).
+func BenchmarkServeRunManyMachines(b *testing.B) { benchRunMany(b, "machines") }
+
 // BenchmarkServeColdCompile measures the other end: every request a
 // distinct program, every compile a full pipeline execution.
 func BenchmarkServeColdCompile(b *testing.B) {

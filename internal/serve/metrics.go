@@ -92,17 +92,22 @@ type Metrics struct {
 	MachinesInUse expvar.Int // machines currently executing a request
 
 	// Per-endpoint request counts and latency histograms.
-	Compile, Run, Lint endpointMetrics
+	Compile, Run, RunMany, Lint endpointMetrics
 }
 
 type endpointMetrics struct {
 	Requests expvar.Int
+	// Rejected counts this endpoint's admission-control rejections (429).
+	// Saturated is the cross-endpoint total; the per-endpoint split tells
+	// an operator which traffic class is being shed.
+	Rejected expvar.Int
 	Latency  histogram
 }
 
 func (e *endpointMetrics) snapshot() map[string]any {
 	return map[string]any{
 		"requests": e.Requests.Value(),
+		"rejected": e.Rejected.Value(),
 		"latency":  e.Latency.snapshot(),
 	}
 }
@@ -130,6 +135,7 @@ func (m *Metrics) Snapshot() map[string]any {
 		"endpoints": map[string]any{
 			"compile": m.Compile.snapshot(),
 			"run":     m.Run.snapshot(),
+			"runmany": m.RunMany.snapshot(),
 			"lint":    m.Lint.snapshot(),
 		},
 	}

@@ -166,6 +166,68 @@ type RunRequest struct {
 	Run     RunRequestOptions `json:"run"`
 }
 
+// RunManyProgram is one tenant program in a /runmany batch.
+type RunManyProgram struct {
+	Source string `json:"source"`
+}
+
+// RunManyRunOptions is the wire form of the batch execution options.
+type RunManyRunOptions struct {
+	// Fast requests the certified fast path for every tenant; the batch
+	// fails if any program does not certify.
+	Fast bool `json:"fast,omitempty"`
+	// MaxCycles caps each tenant's beat budget (0 = default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Quantum overrides the scheduler's round-robin timeslice in beats.
+	Quantum int64 `json:"quantum,omitempty"`
+	// SwitchBeats overrides the wall-clock cost per context rotation.
+	SwitchBeats int64 `json:"switch_beats,omitempty"`
+	// Tenancy selects how the batch shares hardware: "contexts" (default)
+	// time-shares one pooled machine's hardware contexts; "machines" runs
+	// each program on its own pooled machine, concurrently — the
+	// conventional one-machine-per-request serving mode, kept for
+	// comparison.
+	Tenancy string `json:"tenancy,omitempty"`
+}
+
+// RunManyRequest is the body of POST /runmany. All programs compile under
+// one shared Options (the tenants must target one machine configuration).
+type RunManyRequest struct {
+	Programs []RunManyProgram  `json:"programs"`
+	Options  Options           `json:"options"`
+	Run      RunManyRunOptions `json:"run"`
+}
+
+// RunManyResult reports one tenant's execution. Error is per-tenant — a
+// trap or cycle-limit there does not fail the batch.
+type RunManyResult struct {
+	Key         string   `json:"key"`
+	CachedBuild bool     `json:"cached_build"`
+	Fast        bool     `json:"fast"`
+	Exit        int32    `json:"exit"`
+	Output      string   `json:"output"`
+	Stats       RunStats `json:"stats"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// SchedResponse is the wire form of the context scheduler's counters
+// (contexts tenancy only).
+type SchedResponse struct {
+	Contexts    int   `json:"contexts"`
+	TotalBeats  int64 `json:"total_beats"`
+	BusyBeats   int64 `json:"busy_beats"`
+	HiddenBeats int64 `json:"hidden_beats"`
+	Switches    int64 `json:"switches"`
+	SwitchBeats int64 `json:"switch_beats"`
+}
+
+// RunManyResponse reports one batch execution.
+type RunManyResponse struct {
+	Tenancy string          `json:"tenancy"`
+	Results []RunManyResult `json:"results"`
+	Sched   *SchedResponse  `json:"sched,omitempty"`
+}
+
 // CompileResponse reports one compilation.
 type CompileResponse struct {
 	Key string `json:"key"`
@@ -318,6 +380,7 @@ func New(cfg Config) *Server {
 	s.machines.New = func() any { return new(vliw.Machine) }
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/runmany", s.handleRunMany)
 	s.mux.HandleFunc("/lint", s.handleLint)
 	s.mux.HandleFunc("/metrics", m.serveHTTP)
 	return s
@@ -332,11 +395,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// retryAfterSeconds is the backoff hint on 429 responses. Admitted requests
+// clear in well under a second except for cold compiles of pathological
+// sources, so one second is long enough for a slot to open and short enough
+// that honest clients don't idle.
+const retryAfterSeconds = 1
+
 // admitRequest implements admission control: a non-blocking semaphore
 // acquire. Refusing immediately at capacity keeps queueing at the load
 // balancer, where there is context to shed load, instead of inside the
-// server where a queued request would just age into its deadline.
-func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
+// server where a queued request would just age into its deadline. A
+// rejection carries a Retry-After hint and is counted both globally
+// (Saturated) and on the rejecting endpoint (ep.Rejected).
+func (s *Server) admitRequest(w http.ResponseWriter, ep *endpointMetrics) (release func(), ok bool) {
 	select {
 	case s.admit <- struct{}{}:
 		s.metrics.InFlight.Add(1)
@@ -346,6 +417,8 @@ func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
 		}, true
 	default:
 		s.metrics.Saturated.Add(1)
+		ep.Rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, ErrorBody{
 			Kind: "saturated",
 			Msg:  fmt.Sprintf("server at capacity (%d requests in flight)", s.cfg.MaxInflight),
@@ -389,7 +462,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Source, &req) {
 		return
 	}
-	release, ok := s.admitRequest(w)
+	release, ok := s.admitRequest(w, &s.metrics.Compile)
 	if !ok {
 		return
 	}
@@ -423,7 +496,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Source, &req) {
 		return
 	}
-	release, ok := s.admitRequest(w)
+	release, ok := s.admitRequest(w, &s.metrics.Run)
 	if !ok {
 		return
 	}
@@ -460,12 +533,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RunResponse{
 		Key: key, CachedBuild: cachedBuild, CachedResult: cachedResult,
 		Fast: out.Fast, Exit: out.Exit, Output: out.Output,
-		Stats: RunStats{
-			Beats: out.Stats.Beats, Instrs: out.Stats.Instrs, Ops: out.Stats.Ops,
-			MemRefs: out.Stats.MemRefs, BankStalls: out.Stats.BankStalls,
-			SpecLoads: out.Stats.SpecLoads, ICacheMiss: out.Stats.ICacheMiss,
-			TLBMisses: out.Stats.TLBMisses, MIPS: out.Stats.MIPS(),
-		},
+		Stats: wireStats(out.Stats),
 	})
 }
 
@@ -490,7 +558,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Source, &req) {
 		return
 	}
-	release, ok := s.admitRequest(w)
+	release, ok := s.admitRequest(w, &s.metrics.Lint)
 	if !ok {
 		return
 	}

@@ -301,8 +301,17 @@ func TestSaturationReturns429(t *testing.T) {
 	if body["error"].Kind != "saturated" {
 		t.Errorf("error kind = %q, want saturated", body["error"].Kind)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q", ra, "1")
+	}
 	if got := s.Metrics().Saturated.Value(); got == 0 {
 		t.Error("Saturated counter not incremented")
+	}
+	if got := s.Metrics().Compile.Rejected.Value(); got == 0 {
+		t.Error("per-endpoint Rejected counter not incremented for /compile")
+	}
+	if got := s.Metrics().Run.Rejected.Value(); got != 0 {
+		t.Errorf("/run rejected %d requests; the rejection was on /compile", got)
 	}
 	// GET /metrics must stay reachable while the server is saturated —
 	// that is the whole point of exempting it from admission.

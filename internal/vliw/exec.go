@@ -45,10 +45,11 @@ func latency(cfg mach.Config, o *mach.Op) int {
 // execBranch handles branch-unit ops. It returns the branch target if the
 // op wants control (−1 otherwise) and the halt value for OpHalt.
 func (m *Machine) execBranch(o *mach.Op) (int, *int32, error) {
+	c := m.cur
 	switch o.Kind {
 	case mach.OpBrT:
 		m.Stats.Branches++
-		if m.readArg(o.A) != 0 {
+		if c.readArg(o.A) != 0 {
 			return o.Target, nil, nil
 		}
 		return -1, nil, nil
@@ -58,27 +59,27 @@ func (m *Machine) execBranch(o *mach.Op) (int, *int32, error) {
 	case mach.OpCall:
 		m.Stats.Branches++
 		// link register receives the return address
-		m.enqueue(mach.RegLR, uint64(uint32(m.pc+1)), 1)
+		c.enqueue(mach.RegLR, uint64(uint32(c.pc+1)), 1)
 		return o.Target, nil, nil
 	case mach.OpJmpR:
 		m.Stats.Branches++
-		return int(int32(uint32(m.readArg(o.A)))), nil, nil
+		return int(int32(uint32(c.readArg(o.A)))), nil, nil
 	case mach.OpHalt:
-		v := int32(m.iregs[mach.RegRVI.Board][mach.RegRVI.Idx])
+		v := int32(c.iregs[mach.RegRVI.Board][mach.RegRVI.Idx])
 		return -1, &v, nil
 	case mach.OpSyscall:
 		m.Stats.Syscalls++
 		switch o.Sym {
 		case "print_i":
-			fmt.Fprintf(&m.out, "%d\n", int32(m.iregs[0][mach.ArgIBase]))
+			fmt.Fprintf(&c.out, "%d\n", int32(c.iregs[0][mach.ArgIBase]))
 		case "print_f":
-			fmt.Fprintf(&m.out, "%g\n", math.Float64frombits(m.fregs[0][mach.ArgFBase]))
+			fmt.Fprintf(&c.out, "%g\n", math.Float64frombits(c.fregs[0][mach.ArgFBase]))
 		default:
-			return -1, nil, m.fault(TrapSyscall, "unknown syscall %q", o.Sym)
+			return -1, nil, m.fault(c, TrapSyscall, "unknown syscall %q", o.Sym)
 		}
 		return -1, nil, nil
 	}
-	return -1, nil, m.fault(TrapBadOp, "%s on branch unit", mach.OpName(o.Kind))
+	return -1, nil, m.fault(c, TrapBadOp, "%s on branch unit", mach.OpName(o.Kind))
 }
 
 // iBits, fBits, and bBits pack result values for the register-write
@@ -98,168 +99,171 @@ func bBits(v bool) uint64 {
 // at issue+lat. The latency is precomputed by the plan (plan.go) so the
 // timing model is evaluated once per image, not once per executed op.
 func (m *Machine) execOp(o *mach.Op, lat int) error {
+	c := m.cur
 	switch o.Kind {
 	case ir.Nop:
 	case ir.ConstI:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)), lat)
 	case ir.ConstF:
-		m.enqueue(o.Dst, fBits(o.FImm), lat)
+		c.enqueue(o.Dst, fBits(o.FImm), lat)
 	case ir.Mov, mach.OpMovSF:
-		m.enqueue(o.Dst, m.readArg(o.A), lat)
+		c.enqueue(o.Dst, c.readArg(o.A), lat)
 	case ir.Add:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)+m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)+c.readI(o.B)), lat)
 	case ir.Sub:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)-m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)-c.readI(o.B)), lat)
 	case ir.Mul:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)*m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)*c.readI(o.B)), lat)
 	case ir.Div:
-		d := m.readI(o.B)
+		d := c.readI(o.B)
 		if d == 0 {
-			return m.fault(TrapDivZero, "integer divide by zero")
+			return m.fault(c, TrapDivZero, "integer divide by zero")
 		}
-		m.enqueue(o.Dst, iBits(m.readI(o.A)/d), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)/d), lat)
 	case ir.Rem:
-		d := m.readI(o.B)
+		d := c.readI(o.B)
 		if d == 0 {
-			return m.fault(TrapDivZero, "integer remainder by zero")
+			return m.fault(c, TrapDivZero, "integer remainder by zero")
 		}
-		m.enqueue(o.Dst, iBits(m.readI(o.A)%d), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)%d), lat)
 	case ir.And:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)&m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)&c.readI(o.B)), lat)
 	case ir.Or:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)|m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)|c.readI(o.B)), lat)
 	case ir.Xor:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)^m.readI(o.B)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)^c.readI(o.B)), lat)
 	case ir.Shl:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)<<(uint32(m.readI(o.B))&31)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)<<(uint32(c.readI(o.B))&31)), lat)
 	case ir.Shr:
-		m.enqueue(o.Dst, iBits(int32(uint32(m.readI(o.A))>>(uint32(m.readI(o.B))&31))), lat)
+		c.enqueue(o.Dst, iBits(int32(uint32(c.readI(o.A))>>(uint32(c.readI(o.B))&31))), lat)
 	case ir.Sra:
-		m.enqueue(o.Dst, iBits(m.readI(o.A)>>(uint32(m.readI(o.B))&31)), lat)
+		c.enqueue(o.Dst, iBits(c.readI(o.A)>>(uint32(c.readI(o.B))&31)), lat)
 	case ir.Neg:
-		m.enqueue(o.Dst, iBits(-m.readI(o.A)), lat)
+		c.enqueue(o.Dst, iBits(-c.readI(o.A)), lat)
 	case ir.Not:
-		m.enqueue(o.Dst, iBits(^m.readI(o.A)), lat)
+		c.enqueue(o.Dst, iBits(^c.readI(o.A)), lat)
 	case ir.CmpEQ:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) == m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) == c.readI(o.B)), lat)
 	case ir.CmpNE:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) != m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) != c.readI(o.B)), lat)
 	case ir.CmpLT:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) < m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) < c.readI(o.B)), lat)
 	case ir.CmpLE:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) <= m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) <= c.readI(o.B)), lat)
 	case ir.CmpGT:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) > m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) > c.readI(o.B)), lat)
 	case ir.CmpGE:
-		m.enqueue(o.Dst, bBits(m.readI(o.A) >= m.readI(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readI(o.A) >= c.readI(o.B)), lat)
 	case ir.FAdd:
 		m.Stats.FloatOps++
-		m.enqueue(o.Dst, fBits(m.readF(o.A)+m.readF(o.B)), lat)
+		c.enqueue(o.Dst, fBits(c.readF(o.A)+c.readF(o.B)), lat)
 	case ir.FSub:
 		m.Stats.FloatOps++
-		m.enqueue(o.Dst, fBits(m.readF(o.A)-m.readF(o.B)), lat)
+		c.enqueue(o.Dst, fBits(c.readF(o.A)-c.readF(o.B)), lat)
 	case ir.FMul:
 		m.Stats.FloatOps++
-		m.enqueue(o.Dst, fBits(m.readF(o.A)*m.readF(o.B)), lat)
+		c.enqueue(o.Dst, fBits(c.readF(o.A)*c.readF(o.B)), lat)
 	case ir.FDiv:
 		m.Stats.FloatOps++
 		// fast mode: NaN/Inf propagate, no trap (§7)
-		m.enqueue(o.Dst, fBits(m.readF(o.A)/m.readF(o.B)), lat)
+		c.enqueue(o.Dst, fBits(c.readF(o.A)/c.readF(o.B)), lat)
 	case ir.FNeg:
-		m.enqueue(o.Dst, fBits(-m.readF(o.A)), lat)
+		c.enqueue(o.Dst, fBits(-c.readF(o.A)), lat)
 	case ir.FCmpEQ:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) == m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) == c.readF(o.B)), lat)
 	case ir.FCmpNE:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) != m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) != c.readF(o.B)), lat)
 	case ir.FCmpLT:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) < m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) < c.readF(o.B)), lat)
 	case ir.FCmpLE:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) <= m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) <= c.readF(o.B)), lat)
 	case ir.FCmpGT:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) > m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) > c.readF(o.B)), lat)
 	case ir.FCmpGE:
-		m.enqueue(o.Dst, bBits(m.readF(o.A) >= m.readF(o.B)), lat)
+		c.enqueue(o.Dst, bBits(c.readF(o.A) >= c.readF(o.B)), lat)
 	case ir.ItoF:
-		m.enqueue(o.Dst, fBits(float64(m.readI(o.A))), lat)
+		c.enqueue(o.Dst, fBits(float64(c.readI(o.A))), lat)
 	case ir.FtoI:
-		v := m.readF(o.A)
+		v := c.readF(o.A)
 		if math.IsNaN(v) || v > math.MaxInt32 || v < math.MinInt32 {
-			m.enqueue(o.Dst, iBits(int32(ir.FunnyI32)), lat)
+			c.enqueue(o.Dst, iBits(int32(ir.FunnyI32)), lat)
 		} else {
-			m.enqueue(o.Dst, iBits(int32(v)), lat)
+			c.enqueue(o.Dst, iBits(int32(v)), lat)
 		}
 	case ir.Select:
 		// condition from the branch bank (A); B = then, C = else
-		if m.readArg(o.A) != 0 {
-			m.enqueue(o.Dst, m.readArg(o.B), lat)
+		if c.readArg(o.A) != 0 {
+			c.enqueue(o.Dst, c.readArg(o.B), lat)
 		} else {
-			m.enqueue(o.Dst, m.readArg(o.C), lat)
+			c.enqueue(o.Dst, c.readArg(o.C), lat)
 		}
 	case ir.Load, ir.LoadSpec:
 		return m.execLoad(o, lat)
 	case ir.Store:
 		return m.execStore(o)
 	default:
-		return m.fault(TrapBadOp, "cannot execute %s", mach.OpName(o.Kind))
+		return m.fault(c, TrapBadOp, "cannot execute %s", mach.OpName(o.Kind))
 	}
 	return nil
 }
 
 func (m *Machine) execLoad(o *mach.Op, lat int) error {
+	c := m.cur
 	m.Stats.MemRefs++
 	m.Stats.Loads++
-	ea, _ := m.eaOf(o)
+	ea, _ := c.eaOf(o)
 	size := o.Type.Size()
 	if o.Kind == ir.LoadSpec {
 		m.Stats.SpecLoads++
 	}
-	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) || ea%size != 0 {
+	if ea < ir.GlobalBase || ea+size > int64(len(c.mem)) || ea%size != 0 {
 		if o.Kind == ir.LoadSpec {
 			// §7: no valid translation — execution continues; the target
 			// register is loaded with a "funny number" to help catch bugs
 			m.Stats.SpecFaults++
 			if o.Type == ir.I32 {
 				funny := int32(ir.FunnyI32)
-				m.enqueue(o.Dst, uint64(uint32(funny)), lat)
+				c.enqueue(o.Dst, uint64(uint32(funny)), lat)
 			} else {
-				m.enqueue(o.Dst, math.Float64bits(math.NaN()), lat)
+				c.enqueue(o.Dst, math.Float64bits(math.NaN()), lat)
 			}
 			return nil
 		}
 		if ea%size != 0 {
-			return m.fault(TrapUnaligned, "unaligned %d-byte load %#x", size, ea)
+			return m.fault(c, TrapUnaligned, "unaligned %d-byte load %#x", size, ea)
 		}
-		return m.fault(TrapMemBounds, "bus error: load %#x", ea)
+		return m.fault(c, TrapMemBounds, "bus error: load %#x", ea)
 	}
 	m.touchBank(ea)
 	var v uint64
 	if o.Type == ir.I32 {
-		v = uint64(binary.LittleEndian.Uint32(m.Mem[ea:]))
+		v = uint64(binary.LittleEndian.Uint32(c.mem[ea:]))
 	} else {
-		v = binary.LittleEndian.Uint64(m.Mem[ea:])
+		v = binary.LittleEndian.Uint64(c.mem[ea:])
 	}
-	m.enqueue(o.Dst, v, lat)
+	c.enqueue(o.Dst, v, lat)
 	return nil
 }
 
 func (m *Machine) execStore(o *mach.Op) error {
+	c := m.cur
 	m.Stats.MemRefs++
 	m.Stats.Stores++
-	ea, _ := m.eaOf(o)
+	ea, _ := c.eaOf(o)
 	size := o.Type.Size()
-	if ea < ir.GlobalBase || ea+size > int64(len(m.Mem)) {
-		return m.fault(TrapMemBounds, "bus error: store %#x", ea)
+	if ea < ir.GlobalBase || ea+size > int64(len(c.mem)) {
+		return m.fault(c, TrapMemBounds, "bus error: store %#x", ea)
 	}
 	if ea%size != 0 {
-		return m.fault(TrapUnaligned, "unaligned %d-byte store %#x", size, ea)
+		return m.fault(c, TrapUnaligned, "unaligned %d-byte store %#x", size, ea)
 	}
 	m.touchBank(ea)
-	v := m.readArg(o.C) // data comes from the store file (§6.2)
+	v := c.readArg(o.C) // data comes from the store file (§6.2)
 	if o.Type == ir.I32 {
 		v = uint64(uint32(v))
-		binary.LittleEndian.PutUint32(m.Mem[ea:], uint32(v))
+		binary.LittleEndian.PutUint32(c.mem[ea:], uint32(v))
 	} else {
-		binary.LittleEndian.PutUint64(m.Mem[ea:], v)
+		binary.LittleEndian.PutUint64(c.mem[ea:], v)
 	}
 	if m.WatchStore != nil {
 		m.WatchStore(ea, v)
@@ -267,11 +271,13 @@ func (m *Machine) execStore(o *mach.Op) error {
 	return nil
 }
 
-// touchBank marks the reference's RAM bank busy for BankBusyBeats.
+// touchBank marks the reference's RAM bank busy for BankBusyBeats on the
+// current context's timeline.
 func (m *Machine) touchBank(ea int64) {
+	c := m.cur
 	ctrl, bank := m.Cfg.BankOf(ea)
 	id := ctrl*8 + bank
-	m.bankBusy[id] = m.beat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
+	c.bankBusy[id] = c.beat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
 }
 
 // The §6 per-beat resource check (ALU slot uniqueness, register-file port

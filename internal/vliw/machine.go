@@ -11,10 +11,18 @@
 // register-file port overflows, bus oversubscription, and write-write races
 // fault the machine — exactly the failures the real TRACE would exhibit if
 // the compiler's static resource plan were wrong.
+//
+// The machine is split §8.1-style into shared microarchitecture (the
+// Machine: configuration, decoded plans, DMA engine, hooks, and the
+// context scheduler) and per-program architectural state (the Context:
+// register banks, PC, write pipeline, address space, virtual clock). One
+// resident context gives the classic single-program machine; ResetMany
+// loads K programs into K hardware contexts and RunMany time-shares them
+// on one simulated CPU, rotating on quantum expiry and eagerly on memory
+// stalls — the latency-hiding complement to ILP the paper gestures at.
 package vliw
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"math"
@@ -174,6 +182,12 @@ func (e *ErrCanceled) Unwrap() error { return e.Cause }
 // (one context poll per ~2000 executed instructions).
 const DefaultCtxCheckBeats = 4096
 
+// DefaultCtxQuantum is the default round-robin timeslice in beats when the
+// configuration leaves mach.Config.CtxQuantum at zero: 2048 beats is ~133us
+// of machine time, the same order as the §8.1 timeslicing discussion, and
+// long enough that banking a context's stats on rotation is unmeasurable.
+const DefaultCtxQuantum = 2048
+
 // Trap cost model (beats), standing in for the §6.4.3 trap handler code:
 // entry/exit (register save, mode switch) plus per-miss history-queue
 // replay. "A few hand-coded instructions begin saving registers while the
@@ -193,71 +207,71 @@ type pendingWrite struct {
 	spec bool // for stats
 }
 
-// Machine is one TRACE processor with its memory system.
+// Machine is one TRACE processor with its memory system: the shared
+// microarchitecture plus one or more resident program Contexts. The beat
+// loop executes whichever context is current (cur); with one context the
+// machine behaves exactly as the classic single-program simulator, and
+// with several, RunMany time-shares them at beat granularity.
 type Machine struct {
 	Cfg mach.Config
-	Img *isa.Image
-	Mem []byte
+	Img *isa.Image // context 0's image (the only one after Reset)
+	Mem []byte     // context 0's memory (aliases ctxs[0]; kept for callers)
 
-	// Architectural state.
-	iregs [4][64]uint32
-	fregs [4][32]uint64
-	sf    [4][16]uint64
-	bb    [4][8]bool
+	// Resident hardware contexts. cur points at the executing one; every
+	// hot-loop state access indexes through it.
+	ctxs   []*Context
+	cur    *Context
+	curIdx int
 
-	pc      int
-	beat    int64
-	pending []pendingWrite
-	retired []pendingWrite // scratch: writes retired this beat (race check)
-	out     bytes.Buffer
-	halted  bool
-	exit    int32
+	// beat is the machine's wall clock for multi-context runs: useful
+	// beats plus unhidden stalls plus switch overhead. Single-context
+	// runs keep time on the context's own clock instead.
+	beat int64
 
-	// plan is the pre-decoded execution plan for Img (see plan.go): per-beat
-	// slot lists, precomputed latencies and unit names, the memory-reference
-	// prescan list, and the per-word static resource verdicts.
+	// plan is the pre-decoded execution plan for Img (see plan.go),
+	// cached across Reset calls that re-target the same image.
 	plan []planWord
-	// fast is the certified fast path: set via UseCertificate after a static
-	// verifier proved the image legal, it skips dynamic resource checking
-	// and write-race detection. PC bounds, memory bounds/alignment, and
-	// divide-by-zero guards remain live.
-	fast bool
 
-	bankBusy [64]int64 // (controller*8 + bank) -> busy until beat
-
-	// I/O processor DMA stream (§8.3), active when dmaRate > 0.
+	// I/O processor DMA stream (§8.3), active when dmaRate > 0. The IOP
+	// targets the current context's address space.
 	dmaRate   float64 // bytes per second
 	dmaBase   int64
 	dmaLen    int64
 	dmaIssued int64 // 64-bit references issued so far
-
-	// Instruction cache: direct-mapped, ICacheInstrs entries, tag = address.
-	itags  []int
-	iasids []uint8
-	// Data and instruction TLBs: direct-mapped by virtual page number.
-	dtlb      []int64
-	dtlbAsids []uint8
-	itlb      []int64
-	itlbAsids []uint8
-	asid      uint8
 
 	// FlushOnSwitch models a machine WITHOUT process tags: every context
 	// switch purges the caches and TLBs (the Section 8.1 counterfactual;
 	// the real machine tags entries so "no purging is necessary").
 	FlushOnSwitch bool
 
-	// CycleLimit is the hard beat budget: exceeding it ends the run with
-	// *ErrCycleLimit instead of hanging the process. New sets a generous
-	// default; cmd/tracesim exposes it as -max-cycles and the fuzz oracle
-	// tightens it so hostile inputs terminate quickly.
+	// CycleLimit is the hard beat budget per context: a context exceeding
+	// it ends a single run with *ErrCycleLimit, or retires just that
+	// context in RunMany. New sets a generous default; cmd/tracesim
+	// exposes it as -max-cycles and the fuzz oracle tightens it so
+	// hostile inputs terminate quickly.
 	CycleLimit int64
 	// CtxCheckEvery is the beat interval between context polls in
 	// RunContext (default DefaultCtxCheckBeats): a canceled run stops
 	// within one interval. Tests shrink it to make cancellation latency
 	// observable; Run (no context) never polls regardless.
 	CtxCheckEvery int64
-	Stats         Stats
-	CheckRes      bool // verify port/bus limits (off for Ideal)
+	// Stats holds the CURRENT context's counters while it executes (the
+	// beat loop's hottest writes stay one indirection from the machine);
+	// the scheduler banks them into Context.Stats on every rotation. After
+	// Run it is the run's stats as always; after RunMany it is the
+	// machine-level aggregate across contexts with Beats = wall clock.
+	Stats    Stats
+	CheckRes bool // verify port/bus limits (off for Ideal)
+
+	// Quantum is the round-robin timeslice in beats for RunMany
+	// (initialized from Cfg.CtxQuantum, default DefaultCtxQuantum).
+	Quantum int64
+	// SwitchBeats is the wall-clock cost the scheduler charges per
+	// context rotation (initialized from Cfg.CtxSwitchBeats, default 0 —
+	// the paper's near-free switch).
+	SwitchBeats int64
+	// Sched reports the context scheduler's counters after RunMany.
+	Sched SchedStats
 
 	// curUnit names the functional unit whose slot is executing, for fault
 	// attribution on the interlock-free datapath.
@@ -300,67 +314,95 @@ func New(img *isa.Image) *Machine {
 	return m
 }
 
-// Reset re-targets the machine at an image, reusing every buffer the
-// previous program allocated: the multi-megabyte data memory, the pending-
-// write queue, the cache tag and TLB arrays, and — when the image pointer
-// is unchanged — the pre-decoded execution plan. It restores the machine to
-// the state New would produce: architectural state zeroed, stats cleared,
-// instrumentation hooks (InjectWrite, TraceFn, WatchStore, OnInterrupt)
-// removed, DMA stopped, and the certified fast path disabled (re-apply a
-// certificate after Reset to re-enable it). Callers that run many programs
-// — the fuzz oracle, the experiment harness, benchmarks — pool machines
-// through Reset instead of reallocating them.
+// context returns the i'th resident context, growing (and pooling) the
+// context table as needed. Truncating ctxs never frees a context: the
+// backing array keeps the pointer, so its multi-megabyte memory and tag
+// arrays are reused when the machine grows back.
+func (m *Machine) context(i int) *Context {
+	for len(m.ctxs) <= i {
+		if cap(m.ctxs) > len(m.ctxs) {
+			m.ctxs = m.ctxs[:len(m.ctxs)+1]
+			if m.ctxs[len(m.ctxs)-1] == nil {
+				m.ctxs[len(m.ctxs)-1] = new(Context)
+			}
+		} else {
+			m.ctxs = append(m.ctxs, new(Context))
+		}
+	}
+	return m.ctxs[i]
+}
+
+// Reset re-targets the machine at an image as a single-context machine,
+// reusing every buffer the previous program allocated: the multi-megabyte
+// data memory, the pending-write queue, the cache tag and TLB arrays, and —
+// when the image pointer is unchanged — the pre-decoded execution plan. It
+// restores the machine to the state New would produce: architectural state
+// zeroed, stats cleared, instrumentation hooks (InjectWrite, TraceFn,
+// WatchStore, OnInterrupt) removed, DMA stopped, and the certified fast
+// path disabled (re-apply a certificate after Reset to re-enable it).
+// Callers that run many programs — the fuzz oracle, the experiment
+// harness, benchmarks — pool machines through Reset instead of
+// reallocating them.
 func (m *Machine) Reset(img *isa.Image) {
 	if m.Img != img {
 		m.plan = buildPlan(img)
 		m.Img = img
 	}
-	m.Cfg = img.Cfg
-	if need := img.RequiredMem(); int64(cap(m.Mem)) >= need {
-		m.Mem = m.Mem[:need]
-		clear(m.Mem)
-	} else {
-		m.Mem = make([]byte, need)
-	}
+	c := m.context(0)
+	c.reset(0, img, m.plan, img.Cfg)
+	m.ctxs = m.ctxs[:1]
+	m.cur = c
+	m.curIdx = 0
+	m.Mem = c.mem
+	m.resetMachine(img.Cfg)
+}
 
-	m.iregs = [4][64]uint32{}
-	m.fregs = [4][32]uint64{}
-	m.sf = [4][16]uint64{}
-	m.bb = [4][8]bool{}
-	m.pc = 0
+// ResetMany re-targets the machine at K images, one per hardware context.
+// Every image must be linked for the same machine configuration (the
+// contexts share one microarchitecture). Context buffers, memories, and
+// decoded plans are pooled and reused exactly as Reset does for one; images
+// repeated within the batch share one decoded plan.
+func (m *Machine) ResetMany(imgs []*isa.Image) error {
+	if len(imgs) == 0 {
+		return fmt.Errorf("vliw: ResetMany needs at least one image")
+	}
+	for i, img := range imgs {
+		if img.Cfg != imgs[0].Cfg {
+			return fmt.Errorf("vliw: context %d's image targets %q, context 0's targets %q: contexts share one machine configuration",
+				i, img.Cfg.Name, imgs[0].Cfg.Name)
+		}
+	}
+	plans := make(map[*isa.Image][]planWord, len(imgs))
+	if m.Img != nil && m.plan != nil {
+		plans[m.Img] = m.plan
+	}
+	for i, img := range imgs {
+		p, ok := plans[img]
+		if !ok {
+			p = buildPlan(img)
+			plans[img] = p
+		}
+		m.context(i).reset(i, img, p, img.Cfg)
+	}
+	m.ctxs = m.ctxs[:len(imgs)]
+	m.Img = imgs[0]
+	m.plan = plans[imgs[0]]
+	m.cur = m.ctxs[0]
+	m.curIdx = 0
+	m.Mem = m.cur.mem
+	m.resetMachine(imgs[0].Cfg)
+	return nil
+}
+
+// resetMachine restores the shared microarchitectural state and knobs to
+// their defaults for a configuration (the part of Reset that is not
+// per-context).
+func (m *Machine) resetMachine(cfg mach.Config) {
+	m.Cfg = cfg
 	m.beat = 0
-	m.pending = m.pending[:0]
-	m.retired = m.retired[:0]
-	m.out.Reset()
-	m.halted = false
-	m.exit = 0
-	m.fast = false
-	m.bankBusy = [64]int64{}
 	m.curUnit = ""
 
 	m.dmaRate, m.dmaBase, m.dmaLen, m.dmaIssued = 0, 0, 0, 0
-
-	if len(m.itags) != img.Cfg.ICacheInstrs {
-		m.itags = make([]int, img.Cfg.ICacheInstrs)
-		m.iasids = make([]uint8, img.Cfg.ICacheInstrs)
-	}
-	for i := range m.itags {
-		m.itags[i] = -1
-		m.iasids[i] = 0
-	}
-	if len(m.dtlb) != TLBEntries {
-		m.dtlb = make([]int64, TLBEntries)
-		m.itlb = make([]int64, TLBEntries)
-		m.dtlbAsids = make([]uint8, TLBEntries)
-		m.itlbAsids = make([]uint8, TLBEntries)
-	}
-	for i := range m.dtlb {
-		m.dtlb[i] = -1
-		m.itlb[i] = -1
-		m.dtlbAsids[i] = 0
-		m.itlbAsids[i] = 0
-	}
-	m.asid = 0
 
 	m.FlushOnSwitch = false
 	m.InjectWrite = nil
@@ -373,9 +415,20 @@ func (m *Machine) Reset(img *isa.Image) {
 
 	m.CycleLimit = 2_000_000_000
 	m.CtxCheckEvery = DefaultCtxCheckBeats
-	m.CheckRes = !img.Cfg.Ideal
+	m.CheckRes = !cfg.Ideal
 	m.Stats = Stats{}
+
+	m.Quantum = int64(cfg.CtxQuantum)
+	if m.Quantum <= 0 {
+		m.Quantum = DefaultCtxQuantum
+	}
+	m.SwitchBeats = int64(cfg.CtxSwitchBeats)
+	m.Sched = SchedStats{}
 }
+
+// Contexts returns the machine's resident contexts. The slice is owned by
+// the machine; callers inspect, they do not mutate.
+func (m *Machine) Contexts() []*Context { return m.ctxs }
 
 // A Certificate attests that a static verifier proved the image obeys the
 // §6 no-interlock schedule contract over every path — the machine may then
@@ -388,26 +441,37 @@ type Certificate interface {
 	CertifiedImage() *isa.Image
 }
 
-// UseCertificate switches the machine onto the certified fast path:
-// dynamic resource checking and write-write race detection are skipped,
-// because the certificate proves statically that no executable path can
-// violate them. The guards for conditions a legal schedule cannot exclude
-// — PC bounds, data memory bounds and alignment, integer divide by zero,
-// unknown opcodes and syscalls — remain live. The certificate must cover
-// exactly the image the machine is executing.
+// UseCertificate switches every context running the certified image onto
+// the fast path: dynamic resource checking and write-write race detection
+// are skipped, because the certificate proves statically that no executable
+// path can violate them. The guards for conditions a legal schedule cannot
+// exclude — PC bounds, data memory bounds and alignment, integer divide by
+// zero, unknown opcodes and syscalls — remain live. The certificate must
+// cover an image at least one resident context is executing; in a
+// mixed-program RunMany, certify each image separately.
 func (m *Machine) UseCertificate(c Certificate) error {
-	if c == nil || c.CertifiedImage() != m.Img {
+	if c == nil {
 		return fmt.Errorf("vliw: certificate does not cover this image")
 	}
-	m.fast = true
+	img := c.CertifiedImage()
+	found := false
+	for _, ctx := range m.ctxs {
+		if ctx.img == img {
+			ctx.fast = true
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("vliw: certificate does not cover this image")
+	}
 	return nil
 }
 
-// Fast reports whether the machine is on the certified fast path.
-func (m *Machine) Fast() bool { return m.fast }
+// Fast reports whether the current context is on the certified fast path.
+func (m *Machine) Fast() bool { return m.cur.fast }
 
-// Output returns the output printed so far.
-func (m *Machine) Output() string { return m.out.String() }
+// Output returns the output printed so far by the current context.
+func (m *Machine) Output() string { return m.cur.out.String() }
 
 // StartDMA starts the I/O processor streaming into the byte range
 // [base, base+n), wrapping circularly, at rate bytes per second. The IOP
@@ -428,12 +492,12 @@ func (m *Machine) StartDMA(base, n int64, rate float64) {
 // dmaCatchUp issues every IOP reference due by the current beat. Each one
 // occupies its RAM bank for the usual busy window and lands real bytes in
 // memory; the CPU's bank-stall prescan then sees the claimed banks.
-func (m *Machine) dmaCatchUp() {
+func (m *Machine) dmaCatchUp(c *Context) {
 	if m.dmaRate <= 0 || m.dmaLen < 8 {
 		return
 	}
 	beatsPerRef := 8 / (m.dmaRate * mach.BeatNs * 1e-9)
-	due := int64(float64(m.beat) / beatsPerRef)
+	due := int64(float64(c.beat) / beatsPerRef)
 	for m.dmaIssued < due {
 		refBeat := int64(float64(m.dmaIssued) * beatsPerRef)
 		ea := m.dmaBase + (m.dmaIssued*8)%m.dmaLen
@@ -445,12 +509,12 @@ func (m *Machine) dmaCatchUp() {
 		ctrl, bank := m.Cfg.BankOf(ea)
 		id := ctrl*8 + bank
 		end := refBeat + mach.StageBank + int64(m.Cfg.BankBusyBeats)
-		if end > m.bankBusy[id] {
-			m.bankBusy[id] = end
+		if end > c.bankBusy[id] {
+			c.bankBusy[id] = end
 		}
-		if ea >= 0 && ea+8 <= int64(len(m.Mem)) {
+		if ea >= 0 && ea+8 <= int64(len(c.mem)) {
 			for k := int64(0); k < 8; k++ {
-				m.Mem[ea+k] = byte(m.dmaIssued)
+				c.mem[ea+k] = byte(m.dmaIssued)
 			}
 		}
 		m.dmaIssued++
@@ -463,8 +527,11 @@ func (m *Machine) dmaCatchUp() {
 // through the memory system (Section 8.1's ~15us figure). With process
 // tags (the default), cache and TLB entries survive across the switch and
 // "no purging is necessary"; set FlushOnSwitch to model an untagged
-// machine that must invalidate everything.
+// machine that must invalidate everything. This is the OS-model switch —
+// one process leaving one context — distinct from the hardware context
+// rotation RunMany's scheduler performs, which moves no state at all.
 func (m *Machine) ContextSwitch(asid uint8) {
+	c := m.cur
 	cfg := m.Cfg
 	// State: 64 I + 64 F words per pair, 32 SF words per pair, 16 misc.
 	words := int64(cfg.Pairs)*(64+64+32) + 16
@@ -475,32 +542,33 @@ func (m *Machine) ContextSwitch(asid uint8) {
 		perBeat = 2 * int64(cfg.StoreBuses)
 	}
 	cost := 2*(words+perBeat-1)/perBeat + 60
-	m.beat += cost
+	c.beat += cost
 	m.Stats.Switches++
 	m.Stats.SwitchBeats += cost
-	m.asid = asid
+	c.asid = asid
 	if m.FlushOnSwitch {
-		for i := range m.itags {
-			m.itags[i] = -1
+		for i := range c.itags {
+			c.itags[i] = -1
 		}
-		for i := range m.dtlb {
-			m.dtlb[i] = -1
-			m.itlb[i] = -1
+		for i := range c.dtlb {
+			c.dtlb[i] = -1
+			c.itlb[i] = -1
 		}
 	}
 }
 
-// PeekI reads an integer register (debugging and tests).
-func (m *Machine) PeekI(board, idx int) int32 { return int32(m.iregs[board][idx]) }
+// PeekI reads an integer register of the current context (debugging/tests).
+func (m *Machine) PeekI(board, idx int) int32 { return int32(m.cur.iregs[board][idx]) }
 
-// PeekF reads a floating register (debugging and tests).
+// PeekF reads a floating register of the current context (debugging/tests).
 func (m *Machine) PeekF(board, idx int) float64 {
-	return math.Float64frombits(m.fregs[board][idx])
+	return math.Float64frombits(m.cur.fregs[board][idx])
 }
 
 // Run boots the machine and executes until HALT. It returns main's exit
 // value and the captured output. Run never polls a context; use RunContext
-// for cancelable execution.
+// for cancelable execution. Run executes context 0 only; use RunMany to
+// time-share several resident contexts.
 func (m *Machine) Run() (int32, string, error) { return m.run(nil) }
 
 // RunContext is Run with cooperative cancellation: the machine polls ctx
@@ -516,15 +584,15 @@ func (m *Machine) RunContext(ctx context.Context) (int32, string, error) {
 	return m.run(ctx)
 }
 
-// run is the shared boot-and-step loop; ctx == nil means no cancellation
-// polling at all (the Run path).
+// run is the shared boot-and-step loop for a single context; ctx == nil
+// means no cancellation polling at all (the Run path).
 func (m *Machine) run(ctx context.Context) (int32, string, error) {
-	if err := m.Img.InitMem(m.Mem); err != nil {
+	c := m.ctxs[0]
+	m.cur = c
+	m.curIdx = 0
+	if err := c.boot(); err != nil {
 		return 0, "", err
 	}
-	// Boot: SP at top of memory, PC at entry.
-	m.iregs[mach.RegSP.Board][mach.RegSP.Idx] = uint32(int64(len(m.Mem)) &^ 7)
-	m.pc = m.Img.Entry
 	ctxEvery := m.CtxCheckEvery
 	if ctxEvery <= 0 {
 		ctxEvery = DefaultCtxCheckBeats
@@ -536,29 +604,203 @@ func (m *Machine) run(ctx context.Context) (int32, string, error) {
 	if ctx != nil {
 		ctxCheckAt = ctxEvery
 	}
-	for !m.halted {
+	for !c.halted {
+		if c.beat >= ctxCheckAt {
+			if err := ctx.Err(); err != nil {
+				m.finish(c)
+				return 0, c.out.String(), &ErrCanceled{Beat: c.beat, PC: c.pc, Cause: err}
+			}
+			ctxCheckAt = c.beat + ctxEvery
+		}
+		if c.beat > m.CycleLimit {
+			m.finish(c)
+			return 0, c.out.String(), &ErrCycleLimit{Limit: m.CycleLimit, PC: c.pc}
+		}
+		if err := m.step(c); err != nil {
+			m.finish(c)
+			return 0, c.out.String(), err
+		}
+	}
+	m.finish(c)
+	return c.exit, c.out.String(), nil
+}
+
+// finish closes out a single-context run: the run's beat count lands in
+// the machine stats (as always) and the context banks a copy, so Context
+// and Machine views agree.
+func (m *Machine) finish(c *Context) {
+	m.Stats.Beats = c.beat
+	c.Stats = m.Stats
+}
+
+// RunMany boots every resident context and time-shares them on the one
+// simulated CPU until all have halted or retired: round-robin rotation on
+// quantum expiry (Quantum beats of context execution), eager rotation when
+// the current context loses beats to a bank stall or an icache refill, and
+// SwitchBeats of wall-clock charge per rotation (default 0 — the paper's
+// near-free hardware switch).
+//
+// Each context executes on its own virtual clock with its own address
+// space, so its results and Stats are bit-identical to an undisturbed solo
+// run; a context that traps or exhausts CycleLimit retires alone, with the
+// error in its ContextResult, while the rest run on. The machine-level
+// picture lands in Sched (wall clock, hidden stall beats, switches) and in
+// Stats as the cross-context aggregate. The returned error is non-nil only
+// for whole-machine failures: boot errors and cancellation.
+func (m *Machine) RunMany(ctx context.Context) ([]ContextResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, c := range m.ctxs {
+		if c.done || c.halted {
+			return nil, fmt.Errorf("vliw: RunMany on a used machine: Reset or ResetMany first")
+		}
+		if err := c.boot(); err != nil {
+			return nil, err
+		}
+	}
+	quantum := m.Quantum
+	if quantum <= 0 {
+		quantum = DefaultCtxQuantum
+	}
+	ctxEvery := m.CtxCheckEvery
+	if ctxEvery <= 0 {
+		ctxEvery = DefaultCtxCheckBeats
+	}
+	m.Sched = SchedStats{Contexts: len(m.ctxs)}
+	live := len(m.ctxs)
+	m.switchTo(0)
+	sliceEnd := m.cur.beat + quantum
+	ctxCheckAt := ctxEvery
+
+	for live > 0 {
+		c := m.cur
+		if c.done {
+			m.rotate(quantum, &sliceEnd)
+			continue
+		}
 		if m.beat >= ctxCheckAt {
 			if err := ctx.Err(); err != nil {
-				m.Stats.Beats = m.beat
-				return 0, m.out.String(), &ErrCanceled{Beat: m.beat, PC: m.pc, Cause: err}
+				c.Stats = m.Stats // bank the interrupted context
+				m.aggregate()
+				return m.results(), &ErrCanceled{Beat: m.beat, PC: c.pc, Cause: err}
 			}
 			ctxCheckAt = m.beat + ctxEvery
 		}
-		if m.beat > m.CycleLimit {
-			m.Stats.Beats = m.beat
-			return 0, m.out.String(), &ErrCycleLimit{Limit: m.CycleLimit, PC: m.pc}
+		if c.beat > m.CycleLimit {
+			c.err = &ErrCycleLimit{Limit: m.CycleLimit, PC: c.pc}
+			live = m.retire(c, live, quantum, &sliceEnd)
+			continue
 		}
-		if err := m.step(); err != nil {
-			m.Stats.Beats = m.beat
-			return 0, m.out.String(), err
+
+		b0 := c.beat
+		s0 := m.Stats.BankStalls + m.Stats.RefillBeats
+		err := m.step(c)
+		delta := c.beat - b0
+		stall := m.Stats.BankStalls + m.Stats.RefillBeats - s0
+		m.beat += delta
+		m.Sched.BusyBeats += delta - stall
+		hidden := false
+		if stall > 0 && live > 1 {
+			// Another resident context executes under the stall: the
+			// machine's wall clock does not pay for it (§8.1's
+			// latency-hiding), and the scheduler rotates eagerly so the
+			// overlap is real, not notional.
+			m.beat -= stall
+			m.Sched.HiddenBeats += stall
+			hidden = true
+		}
+
+		if err != nil {
+			c.err = err
+			live = m.retire(c, live, quantum, &sliceEnd)
+			continue
+		}
+		if c.halted {
+			live = m.retire(c, live, quantum, &sliceEnd)
+			continue
+		}
+		if c.beat >= sliceEnd || hidden {
+			m.rotate(quantum, &sliceEnd)
 		}
 	}
-	m.Stats.Beats = m.beat
-	return m.exit, m.out.String(), nil
+	m.aggregate()
+	return m.results(), nil
 }
 
-func (m *Machine) fault(code TrapCode, format string, args ...any) error {
-	return &Fault{Code: code, PC: m.pc, Beat: m.beat, Unit: m.curUnit, Msg: fmt.Sprintf(format, args...)}
+// retire marks the current context done (banking its stats with the final
+// beat count, exactly as a solo run's finish would) and rotates to the next
+// live context. It returns the updated live count.
+func (m *Machine) retire(c *Context, live int, quantum int64, sliceEnd *int64) int {
+	m.Stats.Beats = c.beat
+	c.Stats = m.Stats
+	c.done = true
+	live--
+	if live > 0 {
+		m.rotate(quantum, sliceEnd)
+	}
+	return live
+}
+
+// rotate banks the current context's stats and hands the CPU to the next
+// runnable context in round-robin order, charging SwitchBeats of wall
+// clock when the context actually changes. With one runnable context the
+// rotation is free: the quantum is simply renewed.
+func (m *Machine) rotate(quantum int64, sliceEnd *int64) {
+	next := m.curIdx
+	for i := 1; i <= len(m.ctxs); i++ {
+		j := (m.curIdx + i) % len(m.ctxs)
+		if !m.ctxs[j].done {
+			next = j
+			break
+		}
+	}
+	if next != m.curIdx && !m.ctxs[next].done {
+		m.Sched.Switches++
+		m.beat += m.SwitchBeats
+		m.Sched.SwitchBeats += m.SwitchBeats
+		m.switchTo(next)
+	}
+	*sliceEnd = m.cur.beat + quantum
+}
+
+// switchTo makes context i current: the outgoing context's counters are
+// banked and the incoming one's become the machine's live Stats.
+func (m *Machine) switchTo(i int) {
+	if m.cur != nil {
+		m.cur.Stats = m.Stats
+	}
+	m.curIdx = i
+	m.cur = m.ctxs[i]
+	m.Stats = m.cur.Stats
+}
+
+// aggregate leaves the cross-context stat totals in m.Stats (Beats = the
+// machine wall clock) and finalizes Sched after a RunMany.
+func (m *Machine) aggregate() {
+	var agg Stats
+	for _, c := range m.ctxs {
+		agg.add(&c.Stats)
+	}
+	agg.Beats = m.beat
+	m.Stats = agg
+	m.Sched.TotalBeats = m.beat
+}
+
+// results snapshots every context's outcome. Unfinished contexts (after a
+// cancellation) report the beats they had executed so far.
+func (m *Machine) results() []ContextResult {
+	rs := make([]ContextResult, len(m.ctxs))
+	for i, c := range m.ctxs {
+		st := c.Stats
+		st.Beats = c.beat
+		rs[i] = ContextResult{Exit: c.exit, Output: c.out.String(), Stats: st, Err: c.err}
+	}
+	return rs
+}
+
+func (m *Machine) fault(c *Context, code TrapCode, format string, args ...any) error {
+	return &Fault{Code: code, PC: c.pc, Beat: c.beat, Unit: m.curUnit, Msg: fmt.Sprintf(format, args...)}
 }
 
 // StallBank forces the RAM bank holding byte address ea busy for the next n
@@ -572,42 +814,44 @@ func (m *Machine) StallBank(ea int64, n int64) {
 	if ea < 0 {
 		return
 	}
+	c := m.cur
 	ctrl, bank := m.Cfg.BankOf(ea)
 	id := ctrl*8 + bank
-	if until := m.beat + n; until > m.bankBusy[id] {
-		m.bankBusy[id] = until
+	if until := c.beat + n; until > c.bankBusy[id] {
+		c.bankBusy[id] = until
 	}
 }
 
-// step executes one wide instruction (two beats) from the pre-decoded plan.
-func (m *Machine) step() error {
-	if m.pc < 0 || m.pc >= len(m.plan) {
-		return m.fault(TrapBadPC, "instruction fetch outside image")
+// step executes one wide instruction (two beats) of context c from its
+// pre-decoded plan.
+func (m *Machine) step(c *Context) error {
+	if c.pc < 0 || c.pc >= len(c.plan) {
+		return m.fault(c, TrapBadPC, "instruction fetch outside image")
 	}
 	// timer interrupts are taken at instruction boundaries; the pipelines
 	// drain on their own, so the handler cost is a pure beat charge
-	if m.InterruptEvery > 0 && m.beat >= m.nextInterrupt {
+	if m.InterruptEvery > 0 && c.beat >= m.nextInterrupt {
 		cost := m.InterruptBeats
 		if cost == 0 {
 			cost = 200
 		}
-		m.beat += cost
+		c.beat += cost
 		m.Stats.Interrupts++
 		m.Stats.InterruptBeats += cost
 		if m.OnInterrupt != nil {
 			m.OnInterrupt(m)
 		}
-		m.nextInterrupt = m.beat + m.InterruptEvery
+		m.nextInterrupt = c.beat + m.InterruptEvery
 	}
-	m.fetch(m.pc)
+	m.fetch(c, c.pc)
 	if m.TraceFn != nil {
-		m.TraceFn(m.pc, m.beat)
+		m.TraceFn(c.pc, c.beat)
 	}
-	pw := &m.plan[m.pc]
+	pw := &c.plan[c.pc]
 	m.Stats.Instrs++
 
 	if m.dmaRate > 0 {
-		m.dmaCatchUp()
+		m.dmaCatchUp(c)
 	}
 	// Pre-scan memory references for TLB misses and bank stalls. The
 	// machine charges the bank-stall before initiating the instruction,
@@ -618,11 +862,11 @@ func (m *Machine) step() error {
 		misses := 0
 		for i := range pw.mem {
 			pm := &pw.mem[i]
-			ea, ok := m.eaOf(pm.op)
+			ea, ok := c.eaOf(pm.op)
 			if !ok {
 				continue // fault reported at execution
 			}
-			if m.dtlbMiss(ea) {
+			if c.dtlbMiss(ea) {
 				misses++
 			}
 			if ea < 0 {
@@ -630,8 +874,8 @@ func (m *Machine) step() error {
 			}
 			ctrl, bank := m.Cfg.BankOf(ea)
 			id := ctrl*8 + bank
-			access := m.beat + pm.beat + mach.StageBank + stall
-			if busy := m.bankBusy[id]; busy > access {
+			access := c.beat + pm.beat + mach.StageBank + stall
+			if busy := c.bankBusy[id]; busy > access {
 				stall += busy - access
 			}
 		}
@@ -639,15 +883,15 @@ func (m *Machine) step() error {
 			cost := int64(TrapEntryBeats + misses*TrapPerMissBeat)
 			m.Stats.TLBMisses += int64(misses)
 			m.Stats.TrapBeats += cost
-			m.beat += cost
+			c.beat += cost
 		}
 		if stall > 0 {
 			m.Stats.BankStalls += stall
-			m.beat += stall
+			c.beat += stall
 		}
 	}
 
-	nextPC := m.pc + 1
+	nextPC := c.pc + 1
 	// §6.5.2 multiway branch: the highest-priority (lowest Prio, first in
 	// slot order on ties) true test supplies the next address.
 	taken := false
@@ -656,12 +900,12 @@ func (m *Machine) step() error {
 	var exit int32
 
 	for beat := 0; beat < 2; beat++ {
-		if err := m.applyWrites(); err != nil {
+		if err := m.applyWrites(c); err != nil {
 			return err
 		}
-		if m.CheckRes && !m.fast {
+		if m.CheckRes && !c.fast {
 			if v := pw.viol[beat]; v != nil {
-				return m.fault(v.code, "%s", v.msg)
+				return m.fault(c, v.code, "%s", v.msg)
 			}
 		}
 		ops := pw.beats[beat]
@@ -688,18 +932,18 @@ func (m *Machine) step() error {
 			}
 			m.curUnit = ""
 		}
-		m.beat++
+		c.beat++
 	}
 
 	if taken {
 		m.Stats.Taken++
 	}
 	if halted {
-		m.halted = true
-		m.exit = exit
+		c.halted = true
+		c.exit = exit
 		return nil
 	}
-	m.pc = nextPC
+	c.pc = nextPC
 	return nil
 }
 
@@ -709,25 +953,25 @@ func isMemOp(k ir.OpKind) bool {
 
 // fetch models the instruction cache: direct-mapped, refilled in aligned
 // blocks of four via the mask-word engine at memory bandwidth (§6.5.1).
-func (m *Machine) fetch(pc int) {
+func (m *Machine) fetch(c *Context, pc int) {
 	// instruction TLB: pages of PageSize/4 instructions (8KB of packed
 	// words approximated)
 	ipage := int64(pc) / (PageSize / 4)
 	is := ipage % TLBEntries
-	if m.itlb[is] != ipage || m.itlbAsids[is] != m.asid {
-		m.itlb[is] = ipage
-		m.itlbAsids[is] = m.asid
+	if c.itlb[is] != ipage || c.itlbAsids[is] != c.asid {
+		c.itlb[is] = ipage
+		c.itlbAsids[is] = c.asid
 		m.Stats.TLBMisses++
 		m.Stats.TrapBeats += TrapEntryBeats
-		m.beat += TrapEntryBeats
+		c.beat += TrapEntryBeats
 	}
-	if len(m.Img.Words) == 0 {
+	if len(c.img.Words) == 0 {
 		// ideal machine: no encoded form, perfect cache
 		m.Stats.ICacheHits++
 		return
 	}
-	line := pc % len(m.itags)
-	if m.itags[line] == pc && m.iasids[line] == m.asid {
+	line := pc % len(c.itags)
+	if c.itags[line] == pc && c.iasids[line] == c.asid {
 		m.Stats.ICacheHits++
 		return
 	}
@@ -735,37 +979,22 @@ func (m *Machine) fetch(pc int) {
 	// refill the aligned 4-instruction block
 	blk := pc &^ 3
 	words := 4 // the four mask words
-	for i := blk; i < blk+4 && i < len(m.Img.Words); i++ {
-		for _, w := range m.Img.Words[i] {
+	for i := blk; i < blk+4 && i < len(c.img.Words); i++ {
+		for _, w := range c.img.Words[i] {
 			if w != 0 {
 				words++
 			}
 		}
-		line := i % len(m.itags)
-		m.itags[line] = i
-		m.iasids[line] = m.asid
+		line := i % len(c.itags)
+		c.itags[line] = i
+		c.iasids[line] = c.asid
 	}
 	// refill proceeds at full bus bandwidth: ILoad buses carry 4 bytes per
 	// beat each; mask interpretation adds a fixed 2 beats
 	buses := m.Cfg.ILoadBuses
 	beats := int64((words+buses-1)/buses) + 2
 	m.Stats.RefillBeats += beats
-	m.beat += beats
-}
-
-// dtlbMiss checks and fills the data TLB for a byte address.
-func (m *Machine) dtlbMiss(ea int64) bool {
-	if ea < 0 {
-		return false
-	}
-	page := ea / PageSize
-	slot := page % TLBEntries
-	if m.dtlb[slot] == page && m.dtlbAsids[slot] == m.asid {
-		return false
-	}
-	m.dtlb[slot] = page
-	m.dtlbAsids[slot] = m.asid
-	return true
+	c.beat += beats
 }
 
 // applyWrites retires pipeline writes due at the current beat ("the
@@ -775,18 +1004,18 @@ func (m *Machine) dtlbMiss(ea int64) bool {
 // against a reused scratch list — no per-beat map. On the certified fast
 // path the race check is skipped: schedcheck's dataflow analysis proved no
 // path can retire two writes into one register together.
-func (m *Machine) applyWrites() error {
-	retired := m.retired[:0]
-	kept := m.pending[:0]
-	for _, w := range m.pending {
-		if w.beat > m.beat {
+func (m *Machine) applyWrites(c *Context) error {
+	retired := c.retired[:0]
+	kept := c.pending[:0]
+	for _, w := range c.pending {
+		if w.beat > c.beat {
 			kept = append(kept, w)
 			continue
 		}
-		if !m.fast {
+		if !c.fast {
 			for i := range retired {
 				if retired[i].dst == w.dst {
-					return m.fault(TrapWriteRace, "write-write race on %s: writes issued at word %d and word %d retire together",
+					return m.fault(c, TrapWriteRace, "write-write race on %s: writes issued at word %d and word %d retire together",
 						w.dst, retired[i].pc, w.pc)
 				}
 			}
@@ -794,71 +1023,11 @@ func (m *Machine) applyWrites() error {
 		}
 		val := w.val
 		if m.InjectWrite != nil {
-			val = m.InjectWrite(m.beat, w.dst, val)
+			val = m.InjectWrite(c.beat, w.dst, val)
 		}
-		m.writeReg(w.dst, val)
+		c.writeReg(w.dst, val)
 	}
-	m.pending = kept
-	m.retired = retired[:0]
+	c.pending = kept
+	c.retired = retired[:0]
 	return nil
-}
-
-func (m *Machine) writeReg(r mach.PReg, v uint64) {
-	switch r.Bank {
-	case mach.BankI:
-		m.iregs[r.Board][r.Idx] = uint32(v)
-	case mach.BankF:
-		m.fregs[r.Board][r.Idx] = v
-	case mach.BankSF:
-		m.sf[r.Board][r.Idx] = v
-	case mach.BankB:
-		m.bb[r.Board][r.Idx] = v != 0
-	}
-}
-
-func (m *Machine) readReg(r mach.PReg) uint64 {
-	switch r.Bank {
-	case mach.BankI:
-		return uint64(m.iregs[r.Board][r.Idx])
-	case mach.BankF:
-		return m.fregs[r.Board][r.Idx]
-	case mach.BankSF:
-		return m.sf[r.Board][r.Idx]
-	case mach.BankB:
-		if m.bb[r.Board][r.Idx] {
-			return 1
-		}
-		return 0
-	}
-	return 0
-}
-
-// readArg evaluates an operand: register read or immediate.
-func (m *Machine) readArg(a mach.Arg) uint64 {
-	if a.IsImm {
-		return uint64(uint32(a.Imm))
-	}
-	if !a.Reg.Valid() {
-		return 0
-	}
-	return m.readReg(a.Reg)
-}
-
-func (m *Machine) readI(a mach.Arg) int32   { return int32(uint32(m.readArg(a))) }
-func (m *Machine) readF(a mach.Arg) float64 { return math.Float64frombits(m.readArg(a)) }
-func (m *Machine) enqueue(dst mach.PReg, val uint64, lat int) {
-	if !dst.Valid() {
-		return
-	}
-	m.pending = append(m.pending, pendingWrite{beat: m.beat + int64(lat), dst: dst, val: val, pc: m.pc})
-}
-
-// eaOf computes a memory op's effective address (A + B).
-func (m *Machine) eaOf(o *mach.Op) (int64, bool) {
-	if !o.A.IsImm && !o.A.Reg.Valid() {
-		return 0, false
-	}
-	base := int64(m.readI(o.A))
-	off := int64(m.readI(o.B))
-	return base + off, true
 }

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Tracked simulator benchmark: runs BenchmarkSimulator (checked) and
-# BenchmarkSimulatorFast (certified) with fixed -benchtime/-count so runs
+# Tracked simulator benchmark: runs BenchmarkSimulator (checked),
+# BenchmarkSimulatorFast/FastCtx (certified), and BenchmarkSimulatorContexts
+# (K=4 time-shared hardware contexts) with fixed -benchtime/-count so runs
 # are comparable across commits, then emits BENCH_sim.json via benchjson,
 # comparing against the committed seed baseline (scripts/bench_baseline.txt).
 set -eu

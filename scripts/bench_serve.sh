@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tracked serving benchmark: runs BenchmarkServeCachedRun (steady-state /run
-# throughput on the cached+memoized path over real HTTP) and
-# BenchmarkServeColdCompile with fixed -benchtime/-count so runs are
-# comparable across commits, then emits BENCH_serve.json via benchjson.
+# throughput on the cached+memoized path over real HTTP),
+# BenchmarkServeRunManyContexts/Machines (the K=4 multi-tenant batch under
+# both tenancy modes), and BenchmarkServeColdCompile with fixed
+# -benchtime/-count so runs are comparable across commits, then emits
+# BENCH_serve.json via benchjson.
 # The acceptance floor for ServeCachedRun is 1000 req/s on examples/fib.mf.
 set -eu
 cd "$(dirname "$0")/.."

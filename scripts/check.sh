@@ -27,8 +27,18 @@ go run ./cmd/tracelint -corpus internal/fuzz/testdata/fuzz/FuzzDifferential/*
 echo "== certified fast path smoke (fast vs checked agree: examples x O0/O1/O2 x Trace 7/14/28)"
 go test -run TestFastCheckedAgree -count=1 .
 
-echo "== tracefuzz smoke (deterministic differential run)"
-go run ./cmd/tracefuzz -seed 1 -n 200
+echo "== hardware contexts smoke (examples x K=1/2/4 time-shared)"
+go build -o /tmp/tracesim.check ./cmd/tracesim
+for ex in examples/*.mf; do
+	for k in 1 2 4; do
+		/tmp/tracesim.check -contexts "$k" "$ex" >/dev/null ||
+			{ echo "tracesim -contexts $k $ex failed"; exit 1; }
+	done
+done
+rm -f /tmp/tracesim.check
+
+echo "== tracefuzz smoke (deterministic differential + K=4 timeshare oracle)"
+go run ./cmd/tracefuzz -seed 1 -n 200 -timeshare
 
 echo "== tracesrv smoke (compile/run/lint round-trips + graceful shutdown)"
 bin=$(mktemp -d)

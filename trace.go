@@ -142,6 +142,21 @@ type Stats = vliw.Stats
 // Machine is a TRACE processor instance executing a compiled image.
 type Machine = vliw.Machine
 
+// Context is one hardware context: the per-program architectural state a
+// machine time-shares under RunMany.
+type Context = vliw.Context
+
+// SchedStats is the machine-level context-scheduler accounting of one
+// RunMany execution.
+type SchedStats = vliw.SchedStats
+
+// RunManyOptions configures a RunMany batch (fast path, per-context beat
+// budget, scheduler quantum, and switch cost).
+type RunManyOptions = core.RunManyOptions
+
+// ManyResult is one context's completed execution within a RunMany batch.
+type ManyResult = core.ManyResult
+
 // BaselineResult reports a baseline machine simulation.
 type BaselineResult = baseline.Result
 
@@ -242,6 +257,16 @@ func Compile(src string, o Options) (*Result, error) {
 // takes a context.Context and supports pooled machines via Artifact.RunOn.
 func Run(res *Result) (int32, string, *Stats, error) {
 	return core.Run(res)
+}
+
+// RunMany time-shares the artifacts' programs on one simulated CPU, one
+// hardware context each. Per-context results are solo-equivalent —
+// identical, counters included, to each program running alone — and the
+// returned SchedStats carries the wall-clock accounting (hidden stall
+// beats, switches). Every artifact must target the same machine
+// configuration; per-program traps land in the matching ManyResult.Err.
+func RunMany(ctx context.Context, arts []*Artifact, o RunManyOptions) ([]ManyResult, SchedStats, error) {
+	return core.RunMany(ctx, arts, o)
 }
 
 // Certificate is proof that a compiled image passed whole-image static

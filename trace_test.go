@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -196,5 +197,34 @@ func main() int {
 	}
 	if m.Stats.Switches == 0 {
 		t.Fatal("no switches recorded")
+	}
+}
+
+// TestPublicRunMany: the root RunMany surface time-shares artifacts as
+// hardware contexts and every tenant's result is solo-identical.
+func TestPublicRunMany(t *testing.T) {
+	ctx := context.Background()
+	art, err := Build(ctx, demo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := art.Run(ctx, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, sched, err := RunMany(ctx, []*Artifact{art, art, art}, RunManyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Contexts != 3 || sched.TotalBeats == 0 {
+		t.Fatalf("scheduler counters: %+v", sched)
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("context %d: %v", i, r.Err)
+		}
+		if r.Exit != solo.Exit || r.Output != solo.Output || r.Stats != solo.Stats {
+			t.Errorf("context %d diverges from the solo run", i)
+		}
 	}
 }
