@@ -45,6 +45,7 @@ type Report struct {
 func main() {
 	baseline := flag.String("baseline", "", "raw bench output of the build to compare against")
 	out := flag.String("o", "", "output file (default stdout)")
+	require := flag.String("require", "", "Name=minSpeedup[,...]: fail unless each named benchmark's ns/op speedup vs -baseline meets the floor")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -82,6 +83,30 @@ func main() {
 					rep.Speedup[nb.Name] = round2(ob.Metrics["ns/op"] / nb.Metrics["ns/op"])
 				}
 			}
+		}
+	}
+
+	if *require != "" {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-require needs -baseline"))
+		}
+		for _, pair := range strings.Split(*require, ",") {
+			name, floorStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fatal(fmt.Errorf("-require: bad entry %q, want Name=minSpeedup", pair))
+			}
+			floor, err := strconv.ParseFloat(floorStr, 64)
+			if err != nil {
+				fatal(fmt.Errorf("-require %s: %w", name, err))
+			}
+			got, present := rep.Speedup[name]
+			if !present {
+				fatal(fmt.Errorf("-require %s: benchmark missing from run or baseline", name))
+			}
+			if got < floor {
+				fatal(fmt.Errorf("-require %s: speedup %.2f below floor %.2f (regression vs baseline)", name, got, floor))
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s speedup %.2fx >= %.2f floor: ok\n", name, got, floor)
 		}
 	}
 

@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-timeshare] [-v]
+//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-timeshare] [-snapshot] [-v]
 //
 // The run is deterministic: the same -seed and -n always test the same
 // programs, and a reported seed is a complete reproduction recipe.
 // With -timeshare, a clean campaign is followed by the multi-context stage:
 // the same generated programs run again time-shared four to a machine, and
 // every program must reproduce its solo exit, output, and stats exactly.
+// With -snapshot, a clean campaign is followed by the checkpoint/restore
+// stage: each program runs again split at random beats — pause, serialize,
+// restore on a fresh machine, continue, in both checked and certified-fast
+// modes — and must reproduce its uninterrupted run bit-for-bit.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	refSteps := flag.Int64("ref-steps", 0, "reference interpreter op budget (0 = default)")
 	fast := flag.Bool("fast", false, "run images on the certified fast path (lint stage carries the legality burden)")
 	timeshare := flag.Bool("timeshare", false, "also run the generated programs time-shared K=4 and require solo-identical results")
+	snapshot := flag.Bool("snapshot", false, "also split each generated program's run at random beats via snapshot/restore and require uninterrupted-identical results")
 	verbose := flag.Bool("v", false, "print every seed's outcome")
 	flag.Parse()
 	if *jobs <= 0 {
@@ -128,6 +133,25 @@ func main() {
 			// interrupted: not a finding
 		default:
 			fmt.Fprintf(os.Stderr, "\ntimeshare: %v\n", err)
+			if d, isDiv := err.(*fuzz.Divergence); isDiv {
+				fmt.Fprintf(os.Stderr, "--- program ---\n%s\n", d.Src)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *snapshot && ctx.Err() == nil {
+		fmt.Printf("tracefuzz: snapshot stage: seeds %d..%d, %d random splits each\n", *seed, *seed+*n-1, 3)
+		err := fuzz.CheckSnapshotSeeds(ctx, *seed, *n, opts)
+		switch {
+		case err == nil:
+			fmt.Println("tracefuzz: snapshot stage: split and uninterrupted runs identical")
+		case err == fuzz.ErrSkip:
+			fmt.Println("tracefuzz: snapshot stage: no program survived to split")
+		case errors.Is(err, context.Canceled):
+			// interrupted: not a finding
+		default:
+			fmt.Fprintf(os.Stderr, "\nsnapshot: %v\n", err)
 			if d, isDiv := err.(*fuzz.Divergence); isDiv {
 				fmt.Fprintf(os.Stderr, "--- program ---\n%s\n", d.Src)
 			}

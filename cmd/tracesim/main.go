@@ -5,6 +5,7 @@
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
 //	         [-trace] [-baselines] [-fast|-checked] [-max-cycles N]
+//	         [-snapshot-at N] [-snapshot-file F] [-resume F]
 //	         [-contexts K] [-quantum N] [-switch-beats N] prog.mf [prog2.mf ...]
 //
 // With -contexts K (or several source files), the programs time-share one
@@ -12,6 +13,12 @@
 // are identical to a solo run, and the scheduler summary shows how much
 // stall latency the time-sharing hid. A single file with -contexts K runs
 // K copies of that program.
+//
+// With -snapshot-at N the run pauses at beat N and serializes the complete
+// machine-context state to -snapshot-file; a later invocation with the same
+// source and -resume continues it bit-identically — same output, same exit,
+// same counters as the uninterrupted run. A run that completes before beat N
+// finishes normally and writes no snapshot.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 func main() {
@@ -41,6 +49,9 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
 	fast := flag.Bool("fast", false, "certify the image statically and skip dynamic resource checks")
 	checked := flag.Bool("checked", true, "run with per-beat dynamic resource checking (the default)")
+	snapshotAt := flag.Int64("snapshot-at", 0, "pause at this beat and serialize the context to -snapshot-file")
+	snapshotFile := flag.String("snapshot-file", "tracesim.snap", "where -snapshot-at writes the checkpoint")
+	resume := flag.String("resume", "", "restore the context from this snapshot file and continue the run")
 	contexts := flag.Int("contexts", 0, "hardware contexts: time-share K programs (or K copies of one) on one machine")
 	quantum := flag.Int64("quantum", 0, "context-scheduler timeslice in beats (0 = default)")
 	switchBeats := flag.Int64("switch-beats", 0, "wall-clock beats charged per context rotation")
@@ -93,6 +104,10 @@ func main() {
 	}
 
 	if k := max(*contexts, flag.NArg()); k > 1 {
+		if *snapshotAt > 0 || *resume != "" {
+			fmt.Fprintln(os.Stderr, "tracesim: -snapshot-at/-resume apply to single-context runs only")
+			os.Exit(2)
+		}
 		runContexts(ctx, art, k, core.Options{
 			Config: cfg, Opt: lvl, Profile: mode,
 			Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
@@ -125,9 +140,34 @@ func main() {
 			last = pc
 		}
 	}
+	if *resume != "" {
+		snap, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Contexts()[0].Restore(snap); err != nil {
+			fatal(err)
+		}
+	}
+	if *snapshotAt > 0 {
+		m.StopBeat = *snapshotAt
+	}
 	v, out, err := m.RunContext(ctx)
 	fmt.Print(out)
 	if err != nil {
+		var stop *vliw.ErrStopped
+		if errors.As(err, &stop) {
+			snap, serr := m.Contexts()[0].Snapshot()
+			if serr != nil {
+				fatal(serr)
+			}
+			if werr := os.WriteFile(*snapshotFile, snap, 0o644); werr != nil {
+				fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "tracesim: checkpointed at beat %d -> %s (continue with -resume %s)\n",
+				stop.Beat, *snapshotFile, *snapshotFile)
+			return
+		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "tracesim: interrupted:", err)
 			os.Exit(130)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -123,6 +124,17 @@ type RunOptions struct {
 	Fast bool
 	// MaxCycles overrides the machine's beat budget (0 keeps the default).
 	MaxCycles int64
+	// SnapshotAt pauses the run at the first instruction boundary where the
+	// context's virtual clock reaches the given beat: the result carries
+	// Paused=true and a Snapshot that RunFrom continues bit-identically. A
+	// run that completes before the pause point returns normally with no
+	// snapshot. Zero disables pausing.
+	SnapshotAt int64
+	// SnapshotOnInterrupt captures a resume snapshot into the result when
+	// the run is stopped by cancellation/deadline or by the cycle budget,
+	// instead of discarding the partial execution. The interrupting error
+	// is still returned; the snapshot rides alongside it.
+	SnapshotOnInterrupt bool
 }
 
 // ExitResult is one completed execution: exit value, captured output, and
@@ -133,6 +145,14 @@ type ExitResult struct {
 	Stats  vliw.Stats
 	// Fast records whether the run took the certified fast path.
 	Fast bool
+	// Paused reports the run checkpointed at RunOptions.SnapshotAt instead
+	// of completing; Exit is meaningless and Output/Stats are the partial
+	// values so far.
+	Paused bool
+	// Snapshot is the serialized resume point (see vliw.Context.Snapshot):
+	// set when Paused, and on interrupted runs under SnapshotOnInterrupt.
+	// RunFrom (or vliw.Context.Restore) continues it.
+	Snapshot []byte
 }
 
 // Run executes the artifact on a fresh machine. The context is polled at
@@ -149,8 +169,37 @@ func (a *Artifact) Run(ctx context.Context, o RunOptions) (ExitResult, error) {
 // internal/serve and the fuzz oracle do.
 func (a *Artifact) RunOn(ctx context.Context, m *vliw.Machine, o RunOptions) (ExitResult, error) {
 	m.Reset(a.res.Image)
+	return a.runPrepared(ctx, m, o)
+}
+
+// RunFrom resumes a checkpointed execution of this artifact on a fresh
+// machine. The snapshot must have been taken from a run of the same
+// compiled image (vliw.Context.Restore verifies the image fingerprint and
+// the payload checksum and refuses anything else); the resumed run is
+// bit-identical to the uninterrupted one — exit, output, and every Stats
+// counter.
+func (a *Artifact) RunFrom(ctx context.Context, snapshot []byte, o RunOptions) (ExitResult, error) {
+	return a.RunFromOn(ctx, vliw.New(a.res.Image), snapshot, o)
+}
+
+// RunFromOn is RunFrom on a caller-provided (pooled) machine.
+func (a *Artifact) RunFromOn(ctx context.Context, m *vliw.Machine, snapshot []byte, o RunOptions) (ExitResult, error) {
+	m.Reset(a.res.Image)
+	if err := m.Contexts()[0].Restore(snapshot); err != nil {
+		return ExitResult{}, err
+	}
+	return a.runPrepared(ctx, m, o)
+}
+
+// runPrepared applies the run options to a machine already holding the
+// execution state (booted-fresh or snapshot-restored) and runs it,
+// translating pauses and interrupts into snapshots as requested.
+func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOptions) (ExitResult, error) {
 	if o.MaxCycles > 0 {
 		m.CycleLimit = o.MaxCycles
+	}
+	if o.SnapshotAt > 0 {
+		m.StopBeat = o.SnapshotAt
 	}
 	if o.Fast {
 		cert, err := a.Certificate()
@@ -163,8 +212,24 @@ func (a *Artifact) RunOn(ctx context.Context, m *vliw.Machine, o RunOptions) (Ex
 	}
 	v, out, err := m.RunContext(ctx)
 	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Fast: m.Fast()}
-	if err != nil {
-		return res, err
+	var stop *vliw.ErrStopped
+	if errors.As(err, &stop) {
+		snap, serr := m.Contexts()[0].Snapshot()
+		if serr != nil {
+			return res, serr
+		}
+		res.Paused = true
+		res.Snapshot = snap
+		return res, nil
 	}
-	return res, nil
+	if err != nil && o.SnapshotOnInterrupt {
+		var ec *vliw.ErrCanceled
+		var el *vliw.ErrCycleLimit
+		if errors.As(err, &ec) || errors.As(err, &el) {
+			if snap, serr := m.Contexts()[0].Snapshot(); serr == nil {
+				res.Snapshot = snap
+			}
+		}
+	}
+	return res, err
 }

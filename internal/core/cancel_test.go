@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestArtifactRunOnPooledMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != second {
+	if !reflect.DeepEqual(first, second) {
 		t.Errorf("machine reuse changed the result:\n%+v\n%+v", first, second)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/multiflow-repro/trace/internal/isa"
@@ -26,6 +27,17 @@ type RunManyOptions struct {
 	// SwitchBeats overrides the wall-clock cost per context rotation
 	// (0 keeps the configuration's CtxSwitchBeats, default 0).
 	SwitchBeats int64
+	// Snapshots, when non-nil, must carry one entry per artifact: a non-nil
+	// entry restores that context from a checkpoint (the preempted tenant
+	// re-enters the batch mid-flight, continuing on its own virtual clock);
+	// nil entries boot fresh. Each snapshot must come from a run of the
+	// matching artifact's image — Restore refuses mismatches.
+	Snapshots [][]byte
+	// SnapshotOnInterrupt captures a resume snapshot into every unfinished
+	// tenant's ManyResult when the batch is canceled, and into every tenant
+	// retired by the cycle budget — preemption checkpoints the victims
+	// instead of discarding them.
+	SnapshotOnInterrupt bool
 }
 
 // ManyResult is one context's completed execution within a RunMany batch.
@@ -37,6 +49,10 @@ type ManyResult struct {
 	Stats  vliw.Stats
 	Fast   bool
 	Err    error
+	// Snapshot is the tenant's resume point, present only under
+	// RunManyOptions.SnapshotOnInterrupt for tenants that were preempted
+	// (batch canceled) or cycle-limited rather than finished.
+	Snapshot []byte
 }
 
 // RunMany time-shares the artifacts' programs on one simulated CPU, one
@@ -64,6 +80,19 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	}
 	if err := m.ResetMany(imgs); err != nil {
 		return nil, vliw.SchedStats{}, err
+	}
+	if o.Snapshots != nil {
+		if len(o.Snapshots) != len(arts) {
+			return nil, vliw.SchedStats{}, fmt.Errorf("core: RunMany got %d snapshots for %d artifacts", len(o.Snapshots), len(arts))
+		}
+		for i, snap := range o.Snapshots {
+			if snap == nil {
+				continue
+			}
+			if err := m.Contexts()[i].Restore(snap); err != nil {
+				return nil, vliw.SchedStats{}, fmt.Errorf("context %d: %w", i, err)
+			}
+		}
 	}
 	if o.MaxCycles > 0 {
 		m.CycleLimit = o.MaxCycles
@@ -98,6 +127,20 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	rs := make([]ManyResult, len(crs))
 	for i, cr := range crs {
 		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Fast: ctxs[i].Fast(), Err: cr.Err}
+		if !o.SnapshotOnInterrupt {
+			continue
+		}
+		// Checkpoint the tenants whose execution was cut short but remains
+		// resumable: cycle-limit retirees, and — when the whole batch was
+		// canceled — every tenant that had not yet halted or trapped.
+		var el *vliw.ErrCycleLimit
+		interrupted := errors.As(cr.Err, &el) || (err != nil && cr.Err == nil && !ctxs[i].Halted())
+		if !interrupted {
+			continue
+		}
+		if snap, serr := ctxs[i].Snapshot(); serr == nil {
+			rs[i].Snapshot = snap
+		}
 	}
 	return rs, m.Sched, err
 }

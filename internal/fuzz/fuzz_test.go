@@ -62,6 +62,27 @@ func TestTimeshareCleanOnSeeds(t *testing.T) {
 	}
 }
 
+// TestSnapshotCleanOnSeeds runs the checkpoint/restore stage over a seed
+// range: every generated program split at random beats must reproduce its
+// uninterrupted exit, output, and counters, checked and fast, and a
+// corrupted snapshot must be refused.
+func TestSnapshotCleanOnSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full snapshot oracle is slow")
+	}
+	if err := CheckSnapshotSeeds(context.Background(), 1, 8, Options{}); err != nil && !errors.Is(err, ErrSkip) {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotSkipsRejectedInput: inputs with no splittable reference run
+// are a skip, not a finding.
+func TestSnapshotSkipsRejectedInput(t *testing.T) {
+	if err := CheckSnapshot(context.Background(), "not a program", 1, Options{}); !errors.Is(err, ErrSkip) {
+		t.Errorf("CheckSnapshot(garbage) = %v, want ErrSkip", err)
+	}
+}
+
 // TestTimeshareSkipsRejectedInput: inputs with no surviving solo reference
 // are a skip, not a finding.
 func TestTimeshareSkipsRejectedInput(t *testing.T) {

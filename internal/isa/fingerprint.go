@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a SHA-256 digest identifying the image's executable
+// content and the machine configuration it was linked for: the encoded
+// instruction words (or the decoded instruction text, for Ideal images that
+// have no encoded form), the entry point, the data layout, and every field
+// of mach.Config. Two images with equal fingerprints execute identically on
+// a pristine machine, which is what lets a checkpoint refuse restoration
+// onto the wrong program or the wrong machine shape. Linked images are
+// immutable, so the digest is computed once and cached.
+func (img *Image) Fingerprint() [32]byte {
+	img.fpOnce.Do(func() {
+		h := sha256.New()
+		// mach.Config is a flat struct of basic comparable types, so %#v is
+		// a deterministic, collision-free rendering of every field.
+		fmt.Fprintf(h, "cfg=%#v\n", img.Cfg)
+		var buf [8]byte
+		put := func(v int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		put(int64(img.Entry))
+		put(img.DataTop)
+		put(img.RequiredMem())
+		put(int64(len(img.Instrs)))
+		if len(img.Words) > 0 {
+			for _, words := range img.Words {
+				put(int64(len(words)))
+				for _, w := range words {
+					binary.LittleEndian.PutUint32(buf[:4], w)
+					h.Write(buf[:4])
+				}
+			}
+		} else {
+			// Ideal machine: no encoded form exists; the decoded instruction
+			// text is the canonical content.
+			for i := range img.Instrs {
+				fmt.Fprintf(h, "%d:%s\n", i, img.Instrs[i].String())
+			}
+		}
+		names := make([]string, 0, len(img.GlobalAddr))
+		for name := range img.GlobalAddr {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "g:%s=%d\n", name, img.GlobalAddr[name])
+		}
+		h.Sum(img.fp[:0])
+	})
+	return img.fp
+}

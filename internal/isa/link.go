@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/mach"
@@ -27,6 +28,26 @@ type Image struct {
 	DataTop    int64
 
 	prog *ir.Program
+
+	// Fingerprint cache (see fingerprint.go); images are immutable after
+	// Link, so the digest is computed at most once.
+	fpOnce sync.Once
+	fp     [32]byte
+}
+
+// CloneWithConfig returns a shallow copy of the image retargeted at cfg: the
+// instruction stream and layout tables are shared (they are immutable after
+// Link), while the fingerprint cache starts fresh so the clone digests under
+// its own configuration. This is how experiments re-run one schedule on a
+// differently-shaped machine without recompiling.
+func (img *Image) CloneWithConfig(cfg mach.Config) *Image {
+	return &Image{
+		Cfg:    cfg,
+		Instrs: img.Instrs, Words: img.Words, Packed: img.Packed,
+		Entry: img.Entry, FuncBase: img.FuncBase, FuncLen: img.FuncLen,
+		GlobalAddr: img.GlobalAddr, DataTop: img.DataTop,
+		prog: img.prog,
+	}
 }
 
 // Link lays out the compiled functions and globals, resolves branch targets

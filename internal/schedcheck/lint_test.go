@@ -85,12 +85,12 @@ func TestCleanIdeal(t *testing.T) {
 // cloneImage deep-copies the decoded instruction stream so a mutation never
 // leaks into the next candidate.
 func cloneImage(img *isa.Image) *isa.Image {
-	out := *img
+	out := img.CloneWithConfig(img.Cfg)
 	out.Instrs = make([]mach.Instr, len(img.Instrs))
 	for i := range img.Instrs {
 		out.Instrs[i].Slots = append([]mach.SlotOp(nil), img.Instrs[i].Slots...)
 	}
-	return &out
+	return out
 }
 
 // TestMutationBeatSwap corrupts real schedules by swapping the beats of two

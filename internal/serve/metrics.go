@@ -90,9 +90,16 @@ type Metrics struct {
 	CompileErrors expvar.Int // requests rejected with a diagnostic (400)
 	// Machine pool.
 	MachinesInUse expvar.Int // machines currently executing a request
+	// Resume-snapshot store (deadline-paused runs awaiting /resume).
+	SnapshotsStored    expvar.Int // checkpoints issued (202 responses)
+	SnapshotsResumed   expvar.Int // checkpoints resumed to completion
+	SnapshotsRecovered expvar.Int // checkpoints re-indexed from disk at boot
+	SnapshotEvictions  expvar.Int // RAM evictions (disk copies survive)
+	SnapshotBytes      expvar.Int
+	SnapshotEntries    expvar.Int
 
 	// Per-endpoint request counts and latency histograms.
-	Compile, Run, RunMany, Lint endpointMetrics
+	Compile, Run, RunMany, Resume, Lint endpointMetrics
 }
 
 type endpointMetrics struct {
@@ -132,10 +139,19 @@ func (m *Metrics) Snapshot() map[string]any {
 		"timeouts":        m.Timeouts.Value(),
 		"compile_errors":  m.CompileErrors.Value(),
 		"machines_in_use": m.MachinesInUse.Value(),
+		"snapshots": map[string]any{
+			"stored":    m.SnapshotsStored.Value(),
+			"resumed":   m.SnapshotsResumed.Value(),
+			"recovered": m.SnapshotsRecovered.Value(),
+			"evictions": m.SnapshotEvictions.Value(),
+			"bytes":     m.SnapshotBytes.Value(),
+			"entries":   m.SnapshotEntries.Value(),
+		},
 		"endpoints": map[string]any{
 			"compile": m.Compile.snapshot(),
 			"run":     m.Run.snapshot(),
 			"runmany": m.RunMany.snapshot(),
+			"resume":  m.Resume.snapshot(),
 			"lint":    m.Lint.snapshot(),
 		},
 	}

@@ -157,11 +157,19 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 		wg.Wait()
 	} else {
 		resp.Tenancy = "contexts"
-		m := s.machines.Get().(*vliw.Machine)
-		s.metrics.MachinesInUse.Add(1)
-		rs, sched, err := core.RunManyOn(rctx, m, arts, ro)
-		s.metrics.MachinesInUse.Add(-1)
-		s.machines.Put(m)
+		// The machine goes back to the pool on EVERY path out of this
+		// handler — success, whole-batch error, or a panic unwinding through
+		// it — exactly once, which is what the deferred return guarantees
+		// and what the pool-leak test exercises.
+		rs, sched, err := func() ([]core.ManyResult, vliw.SchedStats, error) {
+			m := s.machines.Get().(*vliw.Machine)
+			s.metrics.MachinesInUse.Add(1)
+			defer func() {
+				s.metrics.MachinesInUse.Add(-1)
+				s.machines.Put(m)
+			}()
+			return core.RunManyOn(rctx, m, arts, ro)
+		}()
 		if err != nil {
 			s.writeRunError(w, err)
 			return

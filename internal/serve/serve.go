@@ -32,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/multiflow-repro/trace/internal/core"
@@ -327,6 +328,16 @@ type Config struct {
 	Parallelism int
 	// MaxSourceBytes rejects oversized programs with 413 (default 1 MiB).
 	MaxSourceBytes int64
+	// SnapshotBytes budgets the in-RAM resume-snapshot store (default
+	// 64 MiB). A run that exceeds RunTimeout is checkpointed and answered
+	// with 202 + a resume token instead of 504; POST /resume continues it
+	// under a fresh deadline. Negative disables checkpointing entirely,
+	// restoring the plain-504 behavior.
+	SnapshotBytes int64
+	// SnapshotDir, when set, spills every stored snapshot to disk (atomic
+	// write+rename) and re-indexes surviving files on startup, so resume
+	// tokens outlive a crash or SIGKILL of the server process.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -348,6 +359,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSourceBytes == 0 {
 		c.MaxSourceBytes = 1 << 20
 	}
+	if c.SnapshotBytes == 0 {
+		c.SnapshotBytes = 64 << 20
+	}
 	return c
 }
 
@@ -362,6 +376,8 @@ type Server struct {
 	flight    *flightGroup
 	admit     chan struct{}
 	machines  sync.Pool
+	snapshots *snapshotStore // nil when checkpointing is disabled
+	draining  atomic.Bool
 }
 
 // New builds a Server with its caches and machine pool.
@@ -376,13 +392,17 @@ func New(cfg Config) *Server {
 		runs:      newRunCache(cfg.RunCacheEntries, m),
 		flight:    newFlightGroup(),
 		admit:     make(chan struct{}, cfg.MaxInflight),
+		snapshots: newSnapshotStore(cfg.SnapshotBytes, cfg.SnapshotDir, m),
 	}
 	s.machines.New = func() any { return new(vliw.Machine) }
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/runmany", s.handleRunMany)
+	s.mux.HandleFunc("/resume", s.handleResume)
 	s.mux.HandleFunc("/lint", s.handleLint)
 	s.mux.HandleFunc("/metrics", m.serveHTTP)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -522,6 +542,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		out, err = s.runArtifact(rctx, art, req.Run)
 		cancelRun()
 		if err != nil {
+			// A deadline-exceeded run with a captured snapshot is not a
+			// failure: checkpoint it and hand back a resume token.
+			if s.maybePause(w, r, snapMeta{ArtKey: key, Source: req.Source, Options: req.Options}, out, err) {
+				s.metrics.Run.Latency.observe(time.Since(start))
+				return
+			}
 			s.writeRunError(w, err)
 			return
 		}
@@ -540,7 +566,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // runArtifact executes the artifact on a pooled machine. The machine goes
 // back to the pool on every path — including cancellation: RunContext
 // returns at a beat boundary with the machine in a consistent (if
-// incomplete) state, and the next Reset re-initializes everything.
+// incomplete) state, and the next Reset re-initializes everything. When
+// checkpointing is on, an interrupted run carries its resume snapshot in
+// the result alongside the error.
 func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, o RunRequestOptions) (core.ExitResult, error) {
 	m := s.machines.Get().(*vliw.Machine)
 	s.metrics.MachinesInUse.Add(1)
@@ -548,7 +576,10 @@ func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, o RunReque
 		s.metrics.MachinesInUse.Add(-1)
 		s.machines.Put(m)
 	}()
-	return art.RunOn(ctx, m, core.RunOptions{Fast: o.Fast, MaxCycles: o.MaxCycles})
+	return art.RunOn(ctx, m, core.RunOptions{
+		Fast: o.Fast, MaxCycles: o.MaxCycles,
+		SnapshotOnInterrupt: s.snapshots != nil,
+	})
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {

@@ -217,7 +217,10 @@ func TestRunResultMemoized(t *testing.T) {
 }
 
 func TestRunDeadlineReturns504AndMachineToPool(t *testing.T) {
-	s, hs := newTestServer(t, Config{Parallelism: 1, RunTimeout: 30 * time.Millisecond})
+	// SnapshotBytes < 0 disables checkpointing: the deadline maps straight
+	// to 504 (the default configuration instead answers 202 + resume token;
+	// snapshot_test.go covers that path).
+	s, hs := newTestServer(t, Config{Parallelism: 1, RunTimeout: 30 * time.Millisecond, SnapshotBytes: -1})
 
 	resp, raw := post(t, hs.URL+"/run", RunRequest{
 		Source: slowSrc,

@@ -69,6 +69,13 @@ type Context struct {
 	done bool
 	err  error // terminal trap or cycle-limit, nil while runnable/completed
 
+	// Checkpoint/restore bookkeeping (snapshot.go). booted marks that the
+	// context holds live execution state (boot ran, or a snapshot was
+	// restored) — the precondition for Snapshot. restored marks state that
+	// came from Restore: the run loops skip boot and continue mid-program.
+	booted   bool
+	restored bool
+
 	// Stats is the context's banked performance counters; authoritative
 	// whenever the context is not current on its machine.
 	Stats Stats
@@ -126,6 +133,8 @@ func (c *Context) reset(id int, img *isa.Image, plan []planWord, cfg mach.Config
 
 	c.done = false
 	c.err = nil
+	c.booted = false
+	c.restored = false
 	c.Stats = Stats{}
 }
 
@@ -137,6 +146,7 @@ func (c *Context) boot() error {
 	}
 	c.iregs[mach.RegSP.Board][mach.RegSP.Idx] = uint32(int64(len(c.mem)) &^ 7)
 	c.pc = c.img.Entry
+	c.booted = true
 	return nil
 }
 

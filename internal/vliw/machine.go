@@ -250,6 +250,14 @@ type Machine struct {
 	// exposes it as -max-cycles and the fuzz oracle tightens it so
 	// hostile inputs terminate quickly.
 	CycleLimit int64
+	// StopBeat, when > 0, pauses a single-context run at the first
+	// instruction boundary where the context's virtual clock has reached it:
+	// run returns *ErrStopped with the context intact, and Context.Snapshot
+	// captures a resume point. Zero (the default, restored by Reset) keeps
+	// the beat loop on its usual single-compare path — checkpoint support
+	// costs nothing when unused. RunMany ignores StopBeat; batch tenants
+	// checkpoint on cancellation instead.
+	StopBeat int64
 	// CtxCheckEvery is the beat interval between context polls in
 	// RunContext (default DefaultCtxCheckBeats): a canceled run stops
 	// within one interval. Tests shrink it to make cancellation latency
@@ -414,6 +422,7 @@ func (m *Machine) resetMachine(cfg mach.Config) {
 	m.nextInterrupt = 0
 
 	m.CycleLimit = 2_000_000_000
+	m.StopBeat = 0
 	m.CtxCheckEvery = DefaultCtxCheckBeats
 	m.CheckRes = !cfg.Ideal
 	m.Stats = Stats{}
@@ -590,7 +599,11 @@ func (m *Machine) run(ctx context.Context) (int32, string, error) {
 	c := m.ctxs[0]
 	m.cur = c
 	m.curIdx = 0
-	if err := c.boot(); err != nil {
+	if c.restored {
+		// Resuming a checkpoint: the context's state — banked Stats
+		// included — IS the execution; booting would restart the program.
+		m.Stats = c.Stats
+	} else if err := c.boot(); err != nil {
 		return 0, "", err
 	}
 	ctxEvery := m.CtxCheckEvery
@@ -599,10 +612,15 @@ func (m *Machine) run(ctx context.Context) (int32, string, error) {
 	}
 	// With no context the next check is pushed past any reachable beat, so
 	// the cancelable and plain paths run the identical per-instruction code:
-	// one integer compare.
+	// one integer compare. StopBeat uses the same sentinel trick: disabled,
+	// it is a compare against MaxInt64 that never fires.
 	ctxCheckAt := int64(math.MaxInt64)
 	if ctx != nil {
-		ctxCheckAt = ctxEvery
+		ctxCheckAt = c.beat + ctxEvery
+	}
+	pauseAt := int64(math.MaxInt64)
+	if m.StopBeat > 0 {
+		pauseAt = m.StopBeat
 	}
 	for !c.halted {
 		if c.beat >= ctxCheckAt {
@@ -611,6 +629,10 @@ func (m *Machine) run(ctx context.Context) (int32, string, error) {
 				return 0, c.out.String(), &ErrCanceled{Beat: c.beat, PC: c.pc, Cause: err}
 			}
 			ctxCheckAt = c.beat + ctxEvery
+		}
+		if c.beat >= pauseAt {
+			m.finish(c)
+			return 0, c.out.String(), &ErrStopped{Beat: c.beat, PC: c.pc}
 		}
 		if c.beat > m.CycleLimit {
 			m.finish(c)
@@ -655,6 +677,12 @@ func (m *Machine) RunMany(ctx context.Context) ([]ContextResult, error) {
 		if c.done || c.halted {
 			return nil, fmt.Errorf("vliw: RunMany on a used machine: Reset or ResetMany first")
 		}
+		if c.restored {
+			// A restored tenant re-enters the batch mid-flight: its state
+			// (virtual clock, pipeline, banked Stats) continues from the
+			// checkpoint; switchTo loads the banked Stats when it runs.
+			continue
+		}
 		if err := c.boot(); err != nil {
 			return nil, err
 		}
@@ -669,6 +697,9 @@ func (m *Machine) RunMany(ctx context.Context) ([]ContextResult, error) {
 	}
 	m.Sched = SchedStats{Contexts: len(m.ctxs)}
 	live := len(m.ctxs)
+	// Detach before the first switch: banking the machine's zeroed Stats
+	// into context 0 here would clobber a restored tenant's banked counters.
+	m.cur = nil
 	m.switchTo(0)
 	sliceEnd := m.cur.beat + quantum
 	ctxCheckAt := ctxEvery

@@ -254,10 +254,11 @@ func main() int {
 			return nil, err
 		}
 		for _, geom := range [][2]int{{1, 8}, {1, 2}} {
-			img := *res.Image
-			img.Cfg.Controllers = geom[0]
-			img.Cfg.BanksPerController = geom[1]
-			m := vliw.New(&img)
+			narrow := res.Image.Cfg
+			narrow.Controllers = geom[0]
+			narrow.BanksPerController = geom[1]
+			img := res.Image.CloneWithConfig(narrow)
+			m := vliw.New(img)
 			v, out, err := m.Run()
 			if err != nil {
 				return nil, err

@@ -35,10 +35,34 @@ for ex in examples/*.mf; do
 			{ echo "tracesim -contexts $k $ex failed"; exit 1; }
 	done
 done
+echo "== checkpoint/restore smoke (examples x O0/O2 x 3 split beats vs one-shot run)"
+snapdir=$(mktemp -d)
+for ex in examples/*.mf; do
+	for o in 0 2; do
+		/tmp/tracesim.check -O "$o" "$ex" >"$snapdir/ref.out"
+		for at in 1 2000 200000; do
+			rm -f "$snapdir/run.snap"
+			/tmp/tracesim.check -O "$o" -snapshot-at "$at" \
+				-snapshot-file "$snapdir/run.snap" "$ex" >"$snapdir/split.out"
+			# A split past the end of the run completes instead of pausing
+			# and writes no snapshot; either way the (possibly stitched)
+			# output must be byte-identical to the uninterrupted run.
+			if [ -f "$snapdir/run.snap" ]; then
+				/tmp/tracesim.check -O "$o" -resume "$snapdir/run.snap" "$ex" >>"$snapdir/split.out"
+			fi
+			diff "$snapdir/ref.out" "$snapdir/split.out" >/dev/null ||
+				{ echo "checkpoint smoke: $ex -O$o split@$at diverges from the one-shot run"; exit 1; }
+		done
+	done
+done
+rm -rf "$snapdir"
 rm -f /tmp/tracesim.check
 
 echo "== tracefuzz smoke (deterministic differential + K=4 timeshare oracle)"
 go run ./cmd/tracefuzz -seed 1 -n 200 -timeshare
+
+echo "== tracefuzz checkpoint oracle (random-beat splits, checked + certified-fast)"
+go run ./cmd/tracefuzz -seed 1 -n 50 -snapshot
 
 echo "== tracesrv smoke (compile/run/lint round-trips + graceful shutdown)"
 bin=$(mktemp -d)

@@ -27,6 +27,13 @@
 // at pass boundaries during compilation and at beat granularity during
 // simulation.
 //
+// Executions checkpoint: RunOptions.SnapshotAt pauses a run at a chosen
+// beat and returns a self-describing serialized snapshot that
+// Artifact.RunFrom resumes bit-identically — same exit, output, and
+// counters as the uninterrupted run — even in a different process.
+// Restore refuses snapshots from a different image or configuration
+// (ErrBadSnapshot).
+//
 // Machine configurations mirror the product line: Trace7(), Trace14(), and
 // Trace28() give the 1-, 2-, and 4-pair machines (256/512/1024-bit
 // instruction words); Ideal(pairs) gives the Figure-1 idealized machine.
@@ -159,6 +166,22 @@ type ManyResult = core.ManyResult
 
 // BaselineResult reports a baseline machine simulation.
 type BaselineResult = baseline.Result
+
+// ErrStopped reports a run that paused at a requested checkpoint beat
+// (RunOptions.SnapshotAt, Machine.StopBeat) rather than completing; the
+// paused state is captured by Context.Snapshot and continued by
+// Artifact.RunFrom.
+type ErrStopped = vliw.ErrStopped
+
+// ErrBadSnapshot reports a snapshot that Restore refused — corrupted,
+// truncated, from a different image or machine configuration, or from an
+// incompatible encoding version. Restoration is all-or-nothing: a refused
+// snapshot leaves the context untouched.
+type ErrBadSnapshot = vliw.ErrBadSnapshot
+
+// SnapshotVersion is the current checkpoint encoding version
+// (see Context.Snapshot); Restore refuses any other.
+const SnapshotVersion = vliw.SnapshotVersion
 
 // Trace7 returns the 1-pair TRACE 7/200 (256-bit instruction word).
 func Trace7() Config { return mach.Trace7() }
