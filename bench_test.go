@@ -492,3 +492,30 @@ func BenchmarkSimulatorFast(b *testing.B) {
 	}
 	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
 }
+
+// BenchmarkSimulatorSafe measures the guard-free safe tier: everything the
+// fast path skips, plus deleted bounds/alignment/divide guards at every
+// memory and divide site the safety analysis proved. The graded certificate
+// is minted once outside the timed region; the per-iteration arming cost is
+// one cache hit (the derived guard-free plan is reused across Reset).
+func BenchmarkSimulatorSafe(b *testing.B) {
+	res := mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	cert, err := CertifySafe(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMachine(res)
+	var beats int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(res.Image)
+		if err := m.UseSafeCertificate(cert); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		beats += m.Stats.Beats
+	}
+	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
+}

@@ -1,9 +1,10 @@
-// Differential test of the certified fast path: for every example program,
-// optimization level, and machine width, the checked interpreter and the
-// certified fast path must produce byte-identical results — same exit
-// value, same printed output, and the same value in every Stats counter.
-// The fast path skips checking, never timing: any divergence here means the
-// two execution modes disagree about the machine itself.
+// Differential test of the certified execution tiers: for every example
+// program, optimization level, and machine width, the checked interpreter,
+// the certified fast path, and the guard-free safe tier must produce
+// byte-identical results — same exit value, same printed output, and the
+// same value in every Stats counter. The upper tiers skip checking, never
+// timing: any divergence here means the execution modes disagree about the
+// machine itself.
 package trace
 
 import (
@@ -39,24 +40,29 @@ func TestFastCheckedAgree(t *testing.T) {
 					}
 
 					cv, cout, cst, cerr := Run(res)
-					fv, fout, fst, ferr := RunFast(res)
-					if (cerr == nil) != (ferr == nil) {
-						t.Fatalf("trap disagreement: checked err=%v, fast err=%v", cerr, ferr)
-					}
-					if cerr != nil {
-						if cerr.Error() != ferr.Error() {
-							t.Fatalf("different faults: checked %v, fast %v", cerr, ferr)
+					for _, tier := range []struct {
+						name string
+						run  func(*Result) (int32, string, *Stats, error)
+					}{{"fast", RunFast}, {"safe", RunSafe}} {
+						fv, fout, fst, ferr := tier.run(res)
+						if (cerr == nil) != (ferr == nil) {
+							t.Fatalf("trap disagreement: checked err=%v, %s err=%v", cerr, tier.name, ferr)
 						}
-						return
-					}
-					if cv != fv {
-						t.Fatalf("exit: checked %d, fast %d", cv, fv)
-					}
-					if cout != fout {
-						t.Fatalf("output: checked %q, fast %q", cout, fout)
-					}
-					if *cst != *fst {
-						t.Fatalf("stats diverged:\nchecked: %+v\nfast:    %+v", *cst, *fst)
+						if cerr != nil {
+							if cerr.Error() != ferr.Error() {
+								t.Fatalf("different faults: checked %v, %s %v", cerr, tier.name, ferr)
+							}
+							continue
+						}
+						if cv != fv {
+							t.Fatalf("exit: checked %d, %s %d", cv, tier.name, fv)
+						}
+						if cout != fout {
+							t.Fatalf("output: checked %q, %s %q", cout, tier.name, fout)
+						}
+						if *cst != *fst {
+							t.Fatalf("stats diverged:\nchecked: %+v\n%s:    %+v", *cst, tier.name, *fst)
+						}
 					}
 				})
 			}

@@ -40,12 +40,17 @@ type Report struct {
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Baseline   []Benchmark        `json:"baseline,omitempty"`
 	Speedup    map[string]float64 `json:"speedup_ns_per_op,omitempty"` // baseline ns/op ÷ new ns/op
+	// Ratios holds the within-run ns/op ratios asserted by -require-ratio,
+	// keyed "A/B": A's mean ns/op divided by B's. A ratio above 1 means B
+	// is the faster benchmark.
+	Ratios map[string]float64 `json:"ratios_ns_per_op,omitempty"`
 }
 
 func main() {
 	baseline := flag.String("baseline", "", "raw bench output of the build to compare against")
 	out := flag.String("o", "", "output file (default stdout)")
 	require := flag.String("require", "", "Name=minSpeedup[,...]: fail unless each named benchmark's ns/op speedup vs -baseline meets the floor")
+	requireRatio := flag.String("require-ratio", "", "A/B=min[,...]: fail unless A's mean ns/op divided by B's (both from this run) meets the floor — i.e. require B at least min× as fast as A")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -107,6 +112,34 @@ func main() {
 				fatal(fmt.Errorf("-require %s: speedup %.2f below floor %.2f (regression vs baseline)", name, got, floor))
 			}
 			fmt.Fprintf(os.Stderr, "benchjson: %s speedup %.2fx >= %.2f floor: ok\n", name, got, floor)
+		}
+	}
+
+	if *requireRatio != "" {
+		nsOp := map[string]float64{}
+		for _, b := range rep.Benchmarks {
+			nsOp[b.Name] = b.Metrics["ns/op"]
+		}
+		rep.Ratios = map[string]float64{}
+		for _, pair := range strings.Split(*requireRatio, ",") {
+			names, floorStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			a, b, ok2 := strings.Cut(names, "/")
+			if !ok || !ok2 {
+				fatal(fmt.Errorf("-require-ratio: bad entry %q, want A/B=min", pair))
+			}
+			floor, err := strconv.ParseFloat(floorStr, 64)
+			if err != nil {
+				fatal(fmt.Errorf("-require-ratio %s: %w", names, err))
+			}
+			if nsOp[a] <= 0 || nsOp[b] <= 0 {
+				fatal(fmt.Errorf("-require-ratio %s: benchmark missing from run", names))
+			}
+			got := round2(nsOp[a] / nsOp[b])
+			rep.Ratios[names] = got
+			if got < floor {
+				fatal(fmt.Errorf("-require-ratio %s: ratio %.2f below floor %.2f (%s is not %.2fx as fast as %s)", names, got, floor, b, floor, a))
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s ns/op ratio %.2f >= %.2f floor: ok\n", names, got, floor)
 		}
 	}
 

@@ -75,7 +75,28 @@ func main() {
 		fatal(fmt.Errorf("memoized run diverged: %+v vs %+v", run2, run1))
 	}
 
-	// 4. Lint: the example must verify clean.
+	// 4. Run on the guard-free safe tier: the result must match the fast
+	// run exactly (the certificate only deletes guards the analysis proved
+	// can never fire).
+	var runSafe struct {
+		Fast   bool   `json:"fast"`
+		Safe   bool   `json:"safe"`
+		Exit   int32  `json:"exit"`
+		Output string `json:"output"`
+		Stats  struct {
+			Beats int64 `json:"beats"`
+		} `json:"stats"`
+	}
+	postJSON(client, base+"/run",
+		map[string]any{"source": string(src), "run": map[string]any{"safe": true}}, &runSafe)
+	if !runSafe.Safe || !runSafe.Fast {
+		fatal(fmt.Errorf("safe run not on the safe tier: %+v", runSafe))
+	}
+	if runSafe.Exit != run1.Exit || runSafe.Output != run1.Output || runSafe.Stats.Beats != run1.Stats.Beats {
+		fatal(fmt.Errorf("safe tier diverged from fast: %+v vs %+v", runSafe, run1))
+	}
+
+	// 5. Lint: the example must verify clean.
 	var lint struct {
 		Clean  bool `json:"clean"`
 		Errors int  `json:"errors"`
@@ -85,7 +106,7 @@ func main() {
 		fatal(fmt.Errorf("lint: example not clean: %+v", lint))
 	}
 
-	// 5. A compile error must come back 400 with a position.
+	// 6. A compile error must come back 400 with a position.
 	resp, err := client.Post(base+"/compile", "application/json",
 		bytes.NewReader([]byte(`{"source": "func main() int { return nope }"}`)))
 	if err != nil {
@@ -106,7 +127,7 @@ func main() {
 		fatal(fmt.Errorf("compile error not structured: status %d, %+v", resp.StatusCode, errBody))
 	}
 
-	// 6. Metrics must record what we did.
+	// 7. Metrics must record what we did, including the tier breakdown.
 	mresp, err := client.Get(base + "/metrics")
 	if err != nil {
 		fatal(err)
@@ -118,6 +139,10 @@ func main() {
 		RunCache struct {
 			Hits int64 `json:"hits"`
 		} `json:"run_cache"`
+		CertLevel struct {
+			Resource int64 `json:"resource"`
+			Safe     int64 `json:"safe"`
+		} `json:"cert_level"`
 	}
 	err = json.NewDecoder(mresp.Body).Decode(&metrics)
 	mresp.Body.Close()
@@ -127,8 +152,11 @@ func main() {
 	if metrics.ArtifactCache.Hits == 0 || metrics.RunCache.Hits == 0 {
 		fatal(fmt.Errorf("metrics did not record cache hits: %+v", metrics))
 	}
+	if metrics.CertLevel.Resource == 0 || metrics.CertLevel.Safe == 0 {
+		fatal(fmt.Errorf("metrics did not record the run tiers: %+v", metrics.CertLevel))
+	}
 
-	fmt.Println("srvsmoke: ok (compile, cache hit, run, memoized run, lint, structured error, metrics)")
+	fmt.Println("srvsmoke: ok (compile, cache hit, run, memoized run, safe tier, lint, structured error, metrics)")
 }
 
 func postJSON(client *http.Client, url string, body any, out any) {

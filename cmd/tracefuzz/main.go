@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-timeshare] [-snapshot] [-v]
+//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-safe] [-timeshare] [-snapshot] [-v]
 //
 // The run is deterministic: the same -seed and -n always test the same
 // programs, and a reported seed is a complete reproduction recipe.
 // With -timeshare, a clean campaign is followed by the multi-context stage:
 // the same generated programs run again time-shared four to a machine, and
 // every program must reproduce its solo exit, output, and stats exactly.
+// With -safe, every image additionally runs on the certified fast path and
+// the guard-free safe tier, and the three runs must agree on the exit value,
+// the output, the fault, and every Stats counter.
 // With -snapshot, a clean campaign is followed by the checkpoint/restore
 // stage: each program runs again split at random beats — pause, serialize,
 // restore on a fresh machine, continue, in both checked and certified-fast
@@ -44,6 +47,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker pool size (0 = one per CPU)")
 	refSteps := flag.Int64("ref-steps", 0, "reference interpreter op budget (0 = default)")
 	fast := flag.Bool("fast", false, "run images on the certified fast path (lint stage carries the legality burden)")
+	safe := flag.Bool("safe", false, "three-way tier matrix: every image also runs on the fast path and the guard-free safe tier, and all three must agree on exit, output, fault, and every Stats counter")
 	timeshare := flag.Bool("timeshare", false, "also run the generated programs time-shared K=4 and require solo-identical results")
 	snapshot := flag.Bool("snapshot", false, "also split each generated program's run at random beats via snapshot/restore and require uninterrupted-identical results")
 	verbose := flag.Bool("v", false, "print every seed's outcome")
@@ -57,7 +61,7 @@ func main() {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSig()
 
-	opts := fuzz.Options{RefSteps: *refSteps, Fast: *fast}
+	opts := fuzz.Options{RefSteps: *refSteps, Fast: *fast, Safe: *safe}
 	seeds := make(chan int64)
 	results := make(chan outcome)
 	var wg sync.WaitGroup

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
-//	         [-trace] [-baselines] [-fast|-checked] [-max-cycles N]
+//	         [-trace] [-baselines] [-fast[=safe]|-checked] [-max-cycles N]
 //	         [-snapshot-at N] [-snapshot-file F] [-resume F]
 //	         [-contexts K] [-quantum N] [-switch-beats N] prog.mf [prog2.mf ...]
 //
@@ -13,6 +13,11 @@
 // are identical to a solo run, and the scheduler summary shows how much
 // stall latency the time-sharing hid. A single file with -contexts K runs
 // K copies of that program.
+//
+// The execution tier is -checked (per-beat dynamic resource checking, the
+// default), -fast (statically certified, resource/race checks skipped), or
+// -fast=safe (fast plus guard-free execution of every memory and divide
+// site the value-range safety analysis proves can never fault).
 //
 // With -snapshot-at N the run pauses at beat N and serializes the complete
 // machine-context state to -snapshot-file; a later invocation with the same
@@ -47,7 +52,8 @@ func main() {
 	timePasses := flag.Bool("time-passes", false, "print per-pass compile timing to stderr")
 	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
-	fast := flag.Bool("fast", false, "certify the image statically and skip dynamic resource checks")
+	var fast tierFlag
+	flag.Var(&fast, "fast", "certify the image statically and skip dynamic resource checks; -fast=safe also drops the guards at statically proven memory/divide sites")
 	checked := flag.Bool("checked", true, "run with per-beat dynamic resource checking (the default)")
 	snapshotAt := flag.Int64("snapshot-at", 0, "pause at this beat and serialize the context to -snapshot-file")
 	snapshotFile := flag.String("snapshot-file", "tracesim.snap", "where -snapshot-at writes the checkpoint")
@@ -56,7 +62,7 @@ func main() {
 	quantum := flag.Int64("quantum", 0, "context-scheduler timeslice in beats (0 = default)")
 	switchBeats := flag.Int64("switch-beats", 0, "wall-clock beats charged per context rotation")
 	flag.Parse()
-	if *fast && isFlagSet("checked") && *checked {
+	if fast.fast && isFlagSet("checked") && *checked {
 		fmt.Fprintln(os.Stderr, "tracesim: -fast and -checked are mutually exclusive")
 		os.Exit(2)
 	}
@@ -112,7 +118,7 @@ func main() {
 			Config: cfg, Opt: lvl, Profile: mode,
 			Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
 		}, runManyFlags{
-			fast: *fast, maxCycles: *maxCycles,
+			fast: fast.fast, safe: fast.safe, maxCycles: *maxCycles,
 			quantum: *quantum, switchBeats: *switchBeats,
 		})
 		return
@@ -122,7 +128,17 @@ func main() {
 	if *maxCycles > 0 {
 		m.CycleLimit = *maxCycles
 	}
-	if *fast {
+	if fast.safe {
+		cert, err := art.CertifySafe()
+		if err != nil {
+			fatal(fmt.Errorf("-fast=safe: %w", err))
+		}
+		if err := m.UseSafeCertificate(cert); err != nil {
+			fatal(err)
+		}
+		proven, total := cert.ProvenSites()
+		fmt.Fprintf(os.Stderr, "tracesim: safe tier: %d/%d guarded sites proven, guards deleted\n", proven, total)
+	} else if fast.fast {
 		cert, err := art.Certificate()
 		if err != nil {
 			fatal(fmt.Errorf("-fast: %w", err))
@@ -214,6 +230,7 @@ func main() {
 // runManyFlags carries the time-sharing knobs into runContexts.
 type runManyFlags struct {
 	fast        bool
+	safe        bool
 	maxCycles   int64
 	quantum     int64
 	switchBeats int64
@@ -259,7 +276,7 @@ func runContexts(ctx context.Context, first *core.Artifact, k int, copts core.Op
 		m.CycleLimit = rf.maxCycles
 	}
 	rs, sched, err := core.RunManyOn(ctx, m, arts, core.RunManyOptions{
-		Fast: rf.fast, Quantum: rf.quantum, SwitchBeats: rf.switchBeats,
+		Fast: rf.fast, Safe: rf.safe, Quantum: rf.quantum, SwitchBeats: rf.switchBeats,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -316,6 +333,41 @@ func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracesim:", err)
 	os.Exit(1)
 }
+
+// tierFlag is the -fast flag's value: a boolean flag (a bare -fast arms the
+// certified fast path) that also accepts -fast=safe to select the guard-free
+// safe tier, which implies fast.
+type tierFlag struct {
+	fast bool
+	safe bool
+}
+
+func (f *tierFlag) String() string {
+	switch {
+	case f.safe:
+		return "safe"
+	case f.fast:
+		return "true"
+	}
+	return "false"
+}
+
+func (f *tierFlag) Set(s string) error {
+	switch s {
+	case "safe":
+		f.fast, f.safe = true, true
+	case "fast", "true", "1":
+		f.fast, f.safe = true, false
+	case "false", "0":
+		f.fast, f.safe = false, false
+	default:
+		return fmt.Errorf("want true/false/1/0/fast/safe, got %q", s)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -fast (no value) mean -fast=true.
+func (f *tierFlag) IsBoolFlag() bool { return true }
 
 // isFlagSet reports whether the named flag was given explicitly, so the
 // default -checked=true does not conflict with -fast.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/multiflow-repro/trace/internal/isa"
 	"github.com/multiflow-repro/trace/internal/pipeline"
+	"github.com/multiflow-repro/trace/internal/safecheck"
 	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
@@ -31,6 +32,10 @@ type Artifact struct {
 	certErr  error
 	certDone bool
 	lint     *schedcheck.Report
+	safety   *safecheck.Report
+	safe     *safecheck.SafeCertificate
+	safeErr  error
+	safeDone bool
 }
 
 // Build compiles MF source text into an Artifact. It is the context-aware
@@ -110,6 +115,50 @@ func (a *Artifact) Certificate() (*schedcheck.Certificate, error) {
 	return a.cert, a.certErr
 }
 
+// Safety runs the value-range safety analysis (internal/safecheck) over the
+// image and returns its per-site report: every load/store/divide/indirect
+// jump, classified proven-safe or unprovable with func:line attribution.
+// Computed once and cached; shared by every subsequent safe run.
+func (a *Artifact) Safety() *safecheck.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.safetyLocked()
+}
+
+func (a *Artifact) safetyLocked() *safecheck.Report {
+	if a.safety == nil {
+		a.safety = safecheck.Analyze(a.res.Image, safecheck.Options{
+			Src: schedcheck.NewSourceMap(a.res.Image, a.res.Funcs),
+		})
+	}
+	return a.safety
+}
+
+// CertifySafe mints the graded safety certificate: the resource certificate
+// (Certificate) extended with the safety analysis' per-site proof bitmask.
+// It authorizes the simulator's safe tier — guard-free execution of proven
+// sites via RunOptions.Safe or vliw.Machine.UseSafeCertificate. Minting
+// requires only that the image certifies at the resource level; an image
+// with zero proven sites still gets a certificate (its safe tier simply
+// equals the fast tier). Minted once and cached on the artifact.
+func (a *Artifact) CertifySafe() (*safecheck.SafeCertificate, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.safeDone {
+		a.safeDone = true
+		if !a.certDone {
+			a.cert, a.certErr = a.lintLocked().Certify()
+			a.certDone = true
+		}
+		if a.certErr != nil {
+			a.safeErr = a.certErr
+		} else {
+			a.safe, a.safeErr = a.safetyLocked().Certify(a.cert)
+		}
+	}
+	return a.safe, a.safeErr
+}
+
 // Machine returns a fresh machine loaded with the artifact's image, for
 // callers who want to instrument execution (watchpoints, traces, beat
 // limits) directly.
@@ -122,6 +171,12 @@ type RunOptions struct {
 	// per-beat dynamic resource and write-race checks. Results are
 	// identical to the checked mode; only the checking mode differs.
 	Fast bool
+	// Safe selects the safe tier, the strongest grade: everything Fast
+	// skips, plus guard-free execution of every load/store/divide site the
+	// artifact's cached SafeCertificate (CertifySafe, minted on first use)
+	// proves can never fault. Unproven sites keep their guards. Results are
+	// identical to the checked and fast modes. Safe implies Fast.
+	Safe bool
 	// MaxCycles overrides the machine's beat budget (0 keeps the default).
 	MaxCycles int64
 	// SnapshotAt pauses the run at the first instruction boundary where the
@@ -145,6 +200,8 @@ type ExitResult struct {
 	Stats  vliw.Stats
 	// Fast records whether the run took the certified fast path.
 	Fast bool
+	// Safe records whether the run took the guard-free safe tier.
+	Safe bool
 	// Paused reports the run checkpointed at RunOptions.SnapshotAt instead
 	// of completing; Exit is meaningless and Output/Stats are the partial
 	// values so far.
@@ -201,7 +258,15 @@ func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOption
 	if o.SnapshotAt > 0 {
 		m.StopBeat = o.SnapshotAt
 	}
-	if o.Fast {
+	if o.Safe {
+		cert, err := a.CertifySafe()
+		if err != nil {
+			return ExitResult{}, fmt.Errorf("safe tier: %w", err)
+		}
+		if err := m.UseSafeCertificate(cert); err != nil {
+			return ExitResult{}, err
+		}
+	} else if o.Fast {
 		cert, err := a.Certificate()
 		if err != nil {
 			return ExitResult{}, fmt.Errorf("fast path: %w", err)
@@ -211,7 +276,7 @@ func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOption
 		}
 	}
 	v, out, err := m.RunContext(ctx)
-	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Fast: m.Fast()}
+	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Fast: m.Fast(), Safe: m.Safe()}
 	var stop *vliw.ErrStopped
 	if errors.As(err, &stop) {
 		snap, serr := m.Contexts()[0].Snapshot()

@@ -27,6 +27,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/opt"
 	"github.com/multiflow-repro/trace/internal/pipeline"
 	"github.com/multiflow-repro/trace/internal/profile"
+	"github.com/multiflow-repro/trace/internal/safecheck"
 	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/tsched"
 	"github.com/multiflow-repro/trace/internal/vliw"
@@ -260,6 +261,39 @@ func RunFast(res *Result) (int32, string, *vliw.Stats, error) {
 	}
 	m := vliw.New(res.Image)
 	if err := m.UseCertificate(cert); err != nil {
+		return 0, "", nil, err
+	}
+	v, out, err := m.Run()
+	return v, out, &m.Stats, err
+}
+
+// CertifySafe statically verifies the compiled image at both grades —
+// schedcheck's resource/race contract, then safecheck's value-range safety
+// analysis — and mints the graded certificate that authorizes the
+// simulator's safe tier.
+func CertifySafe(res *Result) (*safecheck.SafeCertificate, error) {
+	cert, err := Certify(res)
+	if err != nil {
+		return nil, err
+	}
+	rep := safecheck.Analyze(res.Image, safecheck.Options{
+		Src: schedcheck.NewSourceMap(res.Image, res.Funcs),
+	})
+	return rep.Certify(cert)
+}
+
+// RunSafe executes the compiled image on the safe tier: certified at the
+// resource level like RunFast, plus guard-free execution of every memory
+// and divide site the safety analysis proves can never fault. Results are
+// identical to Run and RunFast; only how much dynamic checking remains
+// differs.
+func RunSafe(res *Result) (int32, string, *vliw.Stats, error) {
+	cert, err := CertifySafe(res)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	m := vliw.New(res.Image)
+	if err := m.UseSafeCertificate(cert); err != nil {
 		return 0, "", nil, err
 	}
 	v, out, err := m.Run()

@@ -17,6 +17,10 @@ type RunManyOptions struct {
 	// if any artifact in the batch fails to certify, RunMany errors rather
 	// than silently mixing checked and fast tenants.
 	Fast bool
+	// Safe puts every context onto the guard-free safe tier (everything
+	// Fast skips, plus guard-free execution of statically proven sites; see
+	// RunOptions.Safe). All-or-nothing like Fast, and it implies Fast.
+	Safe bool
 	// MaxCycles overrides the per-context beat budget (0 keeps the
 	// default). A context exceeding it retires with *vliw.ErrCycleLimit in
 	// its ManyResult; the rest run on.
@@ -48,6 +52,7 @@ type ManyResult struct {
 	Output string
 	Stats  vliw.Stats
 	Fast   bool
+	Safe   bool
 	Err    error
 	// Snapshot is the tenant's resume point, present only under
 	// RunManyOptions.SnapshotOnInterrupt for tenants that were preempted
@@ -103,7 +108,22 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	if o.SwitchBeats > 0 {
 		m.SwitchBeats = o.SwitchBeats
 	}
-	if o.Fast {
+	if o.Safe {
+		certified := make(map[*isa.Image]bool, len(arts))
+		for i, a := range arts {
+			if certified[a.Image()] {
+				continue
+			}
+			cert, err := a.CertifySafe()
+			if err != nil {
+				return nil, vliw.SchedStats{}, fmt.Errorf("safe tier (context %d): %w", i, err)
+			}
+			if err := m.UseSafeCertificate(cert); err != nil {
+				return nil, vliw.SchedStats{}, err
+			}
+			certified[a.Image()] = true
+		}
+	} else if o.Fast {
 		certified := make(map[*isa.Image]bool, len(arts))
 		for i, a := range arts {
 			if certified[a.Image()] {
@@ -126,7 +146,7 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	ctxs := m.Contexts()
 	rs := make([]ManyResult, len(crs))
 	for i, cr := range crs {
-		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Fast: ctxs[i].Fast(), Err: cr.Err}
+		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Fast: ctxs[i].Fast(), Safe: ctxs[i].Safe(), Err: cr.Err}
 		if !o.SnapshotOnInterrupt {
 			continue
 		}

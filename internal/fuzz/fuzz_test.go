@@ -46,6 +46,21 @@ func TestOracleCleanOnSeeds(t *testing.T) {
 	}
 }
 
+// TestTierMatrixCleanOnSeeds runs the three-way tier oracle (checked, fast,
+// safe) over a seed range: every image that runs must produce identical
+// exit, output, fault, and Stats on all three tiers. This is the seed-level
+// smoke of the `tracefuzz -safe` campaign in scripts/check.sh.
+func TestTierMatrixCleanOnSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle is slow")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		if err := CheckSeed(context.Background(), seed, Options{Safe: true}); err != nil {
+			t.Errorf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
+		}
+	}
+}
+
 // TestTimeshareCleanOnSeeds runs the multi-context stage over a seed range,
 // checked and fast: every generated program must reproduce its solo exit,
 // output, and counters when time-shared four to a machine. A divergence is

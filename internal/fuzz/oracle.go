@@ -12,6 +12,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/lang"
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
+	"github.com/multiflow-repro/trace/internal/safecheck"
 	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/tsched"
 	"github.com/multiflow-repro/trace/internal/vliw"
@@ -50,6 +51,15 @@ type Options struct {
 	// dynamic one — so Fast is for throughput-oriented campaigns where the
 	// lint stage alone carries the legality burden.
 	Fast bool
+	// Safe upgrades the oracle to the three-way tier matrix: every image
+	// that runs also executes on the certified fast path and the guard-free
+	// safe tier, and the three runs must agree on the exit value, the
+	// output, the fault, and every Stats counter. This cross-checks the
+	// safety analysis against the dynamic guards it deletes: a site proven
+	// safe that would have trapped, or a guard-free variant that counts a
+	// beat differently, diverges here. Implies the checked tier stays the
+	// reference against the scalar baseline.
+	Safe bool
 }
 
 // machinePool recycles simulator machines across oracle runs. A machine
@@ -78,6 +88,80 @@ func runImage(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCy
 		}
 	}
 	return m.RunContext(ctx)
+}
+
+// runTier executes one linked image on one execution tier and returns the
+// result plus a copy of the machine's Stats. The safe tier mints the graded
+// certificate from the clean lint report — on a fuzz input nothing may be
+// provable, which is fine: an empty bitmask still exercises the safe tier's
+// arming and containment machinery.
+func runTier(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, tier string) (int32, string, vliw.Stats, error) {
+	m := machinePool.Get().(*vliw.Machine)
+	defer machinePool.Put(m)
+	m.Reset(img)
+	m.CycleLimit = maxCycles
+	switch tier {
+	case "checked":
+	case "fast":
+		cert, err := rep.Certify()
+		if err != nil {
+			return 0, "", vliw.Stats{}, fmt.Errorf("lint passed but certification failed: %w", err)
+		}
+		if err := m.UseCertificate(cert); err != nil {
+			return 0, "", vliw.Stats{}, err
+		}
+	case "safe":
+		cert, err := rep.Certify()
+		if err != nil {
+			return 0, "", vliw.Stats{}, fmt.Errorf("lint passed but certification failed: %w", err)
+		}
+		scert, err := safecheck.Analyze(img, safecheck.Options{}).Certify(cert)
+		if err != nil {
+			return 0, "", vliw.Stats{}, fmt.Errorf("resource certificate minted but safety grading failed: %w", err)
+		}
+		if err := m.UseSafeCertificate(scert); err != nil {
+			return 0, "", vliw.Stats{}, err
+		}
+	}
+	v, out, err := m.RunContext(ctx)
+	return v, out, m.Stats, err
+}
+
+// checkTiers runs the image on all three execution tiers and requires
+// byte-identical results: same exit, same output, same fault, and the same
+// value in every Stats counter. It returns the checked tier's result for
+// the caller's reference comparison; the *Divergence is non-nil when the
+// tiers disagree among themselves.
+func checkTiers(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, config, src string) (int32, string, error, *Divergence) {
+	cv, cout, cst, cerr := runTier(ctx, img, rep, maxCycles, "checked")
+	for _, tier := range []string{"fast", "safe"} {
+		tv, tout, tst, terr := runTier(ctx, img, rep, maxCycles, tier)
+		tag := config + "/" + tier
+		if (cerr == nil) != (terr == nil) {
+			return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
+				Detail: fmt.Sprintf("trap disagreement: checked err=%v, %s err=%v", cerr, tier, terr), Src: src}
+		}
+		if cerr != nil {
+			if cerr.Error() != terr.Error() {
+				return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
+					Detail: fmt.Sprintf("different faults: checked %v, %s %v", cerr, tier, terr), Src: src}
+			}
+			continue
+		}
+		if cv != tv {
+			return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
+				Detail: fmt.Sprintf("exit %d, checked %d", tv, cv), Src: src}
+		}
+		if cout != tout {
+			return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
+				Detail: fmt.Sprintf("output %q, checked %q", tout, cout), Src: src}
+		}
+		if cst != tst {
+			return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
+				Detail: fmt.Sprintf("stats diverged:\nchecked: %+v\n%s: %+v", cst, tier, tst), Src: src}
+		}
+	}
+	return cv, cout, cerr, nil
 }
 
 // matrix is the compile-and-run settings every input is checked across:
@@ -143,7 +227,16 @@ func Check(ctx context.Context, src string, o Options) error {
 		if d != nil {
 			return d
 		}
-		gotV, gotOut, err := runImage(ctx, res.Image, rep, maxCycles, o.Fast)
+		var gotV int32
+		var gotOut string
+		if o.Safe {
+			gotV, gotOut, err, d = checkTiers(ctx, res.Image, rep, maxCycles, m.name, src)
+			if d != nil {
+				return d
+			}
+		} else {
+			gotV, gotOut, err = runImage(ctx, res.Image, rep, maxCycles, o.Fast)
+		}
 		if err != nil {
 			return &Divergence{Stage: "trap", Config: m.name,
 				Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", err), Src: src}
@@ -161,7 +254,7 @@ func Check(ctx context.Context, src string, o Options) error {
 	// Full optimization on the widest machine, sequential and parallel
 	// backends: run the sequential image against the reference, then require
 	// the 4-worker build to be byte-identical.
-	return checkO2(ctx, src, wantV, wantOut, maxCycles, o.Fast)
+	return checkO2(ctx, src, wantV, wantOut, maxCycles, o)
 }
 
 // checkArtifact statically verifies every artifact a successful compile
@@ -199,7 +292,7 @@ func isCapacityReject(err error) bool {
 // checkO2 compiles at full optimization for Trace 28 with a sequential and a
 // 4-worker backend, checks the sequential image against the reference result,
 // and requires the parallel build to be byte-identical to the sequential one.
-func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCycles int64, fast bool) error {
+func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCycles int64, o Options) error {
 	opts := func(jobs int) core.Options {
 		return core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: jobs}
 	}
@@ -215,7 +308,17 @@ func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCy
 	if d != nil {
 		return d
 	}
-	gotV, gotOut, rerr := runImage(ctx, seq.Image, rep, maxCycles, fast)
+	var gotV int32
+	var gotOut string
+	var rerr error
+	if o.Safe {
+		gotV, gotOut, rerr, d = checkTiers(ctx, seq.Image, rep, maxCycles, "trace28/O2/j1", src)
+		if d != nil {
+			return d
+		}
+	} else {
+		gotV, gotOut, rerr = runImage(ctx, seq.Image, rep, maxCycles, o.Fast)
+	}
 	if rerr != nil {
 		return &Divergence{Stage: "trap", Config: "trace28/O2/j1",
 			Detail: fmt.Sprintf("reference ran clean but the machine faulted: %v", rerr), Src: src}

@@ -1,0 +1,402 @@
+package safecheck
+
+import "math"
+
+// The abstract domain: one Val per 32-bit integer register, combining an
+// interval with a congruence. The interval answers "can this effective
+// address escape RAM, can this divisor be zero"; the congruence answers
+// "is this address aligned" and — fed back into the interval as bound
+// snapping — recovers tight bounds for strided loop counters (an unroll-by-4
+// counter known to be ≡ 0 mod 4 and < 256 is at most 252, so counter+3 stays
+// in bounds). Both halves are standard lattices; see DESIGN.md §Static
+// safety analysis for the soundness argument.
+
+// Val abstracts one i32 register value: every concrete value v satisfies
+// Lo <= v <= Hi and v ≡ R (mod M).
+//
+//   - M == 0 means the value is exactly R (and Lo == Hi == R);
+//   - M == 1 carries no congruence information (R == 0);
+//   - M > 1 is a real congruence with 0 <= R < M.
+//
+// The interval is always within int32 range: transfer functions that could
+// wrap (int32 overflow) degrade to Top, so a Val never claims more than the
+// machine's wrapping arithmetic delivers.
+type Val struct {
+	Lo, Hi int64
+	M, R   int64
+}
+
+// Top is the unconstrained i32 value.
+var Top = Val{math.MinInt32, math.MaxInt32, 1, 0}
+
+// Exact abstracts a known constant (wrapped to int32, mirroring readI).
+func Exact(v int64) Val {
+	w := int64(int32(v))
+	return Val{w, w, 0, w}
+}
+
+// val01 abstracts a boolean-producing op (compare predicates, branch-bank
+// reads).
+var val01 = Val{0, 1, 1, 0}
+
+// IsExact reports the value is a single known constant.
+func (a Val) IsExact() bool { return a.M == 0 }
+
+// mod is the non-negative remainder of a by m (m > 0).
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// congruence-arithmetic bound: operands beyond it degrade to "no info" so
+// the intermediate products below cannot overflow int64.
+const congMax = int64(1) << 31
+
+// mk normalizes a candidate (lo, hi, m, r) into a Val: bounds are snapped
+// inward to the congruence (the whole point of carrying both halves), exact
+// singletons collapse to M == 0, and an empty result reports ok == false
+// (an infeasible refinement — the edge it came from is dead).
+func mk(lo, hi, m, r int64) (Val, bool) {
+	if m > 1 {
+		r = mod(r, m)
+		lo += mod(r-lo, m)
+		hi -= mod(hi-r, m)
+	}
+	if lo > hi {
+		return Val{}, false
+	}
+	if lo == hi {
+		return Val{lo, hi, 0, lo}, true
+	}
+	if m <= 1 {
+		return Val{lo, hi, 1, 0}, true
+	}
+	return Val{lo, hi, m, r}, true
+}
+
+// i32 builds a Val for an int32-producing operation: any possibility of
+// wrap degrades the whole value (interval and congruence) to Top, because
+// congruences mod m do not survive reduction mod 2³² unless the value
+// provably did not wrap.
+func i32(lo, hi, m, r int64) Val {
+	if lo < math.MinInt32 || hi > math.MaxInt32 {
+		return Top
+	}
+	v, ok := mk(lo, hi, m, r)
+	if !ok {
+		return Top
+	}
+	return v
+}
+
+// cjoin joins two congruences (the classic gcd join).
+func cjoin(m1, r1, m2, r2 int64) (int64, int64) {
+	d := r1 - r2
+	if d < 0 {
+		d = -d
+	}
+	m := gcd(gcd(m1, m2), d)
+	if m == 0 {
+		return 0, r1
+	}
+	return m, mod(r1, m)
+}
+
+// Join is the lattice join (least upper bound): interval hull plus
+// congruence gcd-join.
+func (a Val) Join(b Val) Val {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	m, r := cjoin(a.M, a.R, b.M, b.R)
+	v, _ := mk(lo, hi, m, r) // hull of two non-empty Vals is non-empty
+	return v
+}
+
+// Widening thresholds: a moving bound climbs this ladder instead of jumping
+// straight to the int32 extreme. The intermediate rungs matter beyond
+// precision — the affine-equality domain refuses to record "r2 == r1 + d"
+// when the abstract add could wrap, so a counter widened to MaxInt32 loses
+// the equalities the narrowing phase needs to pull loop bounds back in.
+var (
+	widenLos = [...]int64{-1 << 10, -1 << 16, -1 << 20, -1 << 26, math.MinInt32}
+	widenHis = [...]int64{1 << 10, 1 << 16, 1 << 20, 1 << 26, math.MaxInt32}
+)
+
+// Widen accelerates convergence: any bound that moved since old jumps to
+// the next widening threshold (the congruence join terminates on its own —
+// each strict gcd step at least halves the modulus).
+func (a Val) Widen(old Val) Val {
+	lo, hi := old.Lo, old.Hi
+	if a.Lo < old.Lo {
+		lo = math.MinInt32
+		for _, t := range widenLos {
+			if t <= a.Lo {
+				lo = t
+				break
+			}
+		}
+	}
+	if a.Hi > old.Hi {
+		hi = math.MaxInt32
+		for _, t := range widenHis {
+			if t >= a.Hi {
+				hi = t
+				break
+			}
+		}
+	}
+	m, r := cjoin(old.M, old.R, a.M, a.R)
+	v, _ := mk(lo, hi, m, r)
+	return v
+}
+
+// Clamp intersects the value with [lo, hi], reporting ok == false when the
+// intersection is empty.
+func (a Val) Clamp(lo, hi int64) (Val, bool) {
+	if lo < a.Lo {
+		lo = a.Lo
+	}
+	if hi > a.Hi {
+		hi = a.Hi
+	}
+	return mk(lo, hi, a.M, a.R)
+}
+
+// trimNE removes the constant c from the value where the interval can
+// express it (only at its endpoints).
+func (a Val) trimNE(c int64) (Val, bool) {
+	lo, hi := a.Lo, a.Hi
+	if lo == c {
+		lo++
+	}
+	if hi == c {
+		hi--
+	}
+	return mk(lo, hi, a.M, a.R)
+}
+
+// Add abstracts wrapping int32 addition.
+func (a Val) Add(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(a.R + b.R)
+	}
+	m := gcd(a.M, b.M)
+	return i32(a.Lo+b.Lo, a.Hi+b.Hi, m, a.R+b.R)
+}
+
+// Sub abstracts wrapping int32 subtraction.
+func (a Val) Sub(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(a.R - b.R)
+	}
+	m := gcd(a.M, b.M)
+	return i32(a.Lo-b.Hi, a.Hi-b.Lo, m, a.R-b.R)
+}
+
+// Neg abstracts wrapping int32 negation.
+func (a Val) Neg() Val {
+	if a.M == 0 {
+		return Exact(-a.R)
+	}
+	return i32(-a.Hi, -a.Lo, a.M, -a.R)
+}
+
+// Mul abstracts wrapping int32 multiplication.
+func (a Val) Mul(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(a.R * b.R)
+	}
+	c1, c2, c3, c4 := a.Lo*b.Lo, a.Lo*b.Hi, a.Hi*b.Lo, a.Hi*b.Hi
+	lo, hi := c1, c1
+	for _, c := range []int64{c2, c3, c4} {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	m, r := int64(1), int64(0)
+	if a.M < congMax && b.M < congMax && abs64(a.R) < congMax && abs64(b.R) < congMax {
+		m = gcd(gcd(a.M*b.M, a.M*b.R), b.M*a.R)
+		r = a.R * b.R
+	}
+	return i32(lo, hi, m, r)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Shl abstracts x << (k & 31). Only a constant shift is modeled (a multiply
+// by 2^k); a variable shift is Top.
+func (a Val) Shl(b Val) Val {
+	if b.M != 0 {
+		return Top
+	}
+	k := uint32(b.R) & 31
+	return a.Mul(Exact(int64(1) << k))
+}
+
+// Shr abstracts logical right shift by a constant.
+func (a Val) Shr(b Val) Val {
+	if b.M != 0 {
+		return Top
+	}
+	k := uint32(b.R) & 31
+	if a.M == 0 {
+		return Exact(int64(int32(uint32(int32(a.R)) >> k)))
+	}
+	if k == 0 {
+		return a
+	}
+	if a.Lo >= 0 {
+		return i32(a.Lo>>k, a.Hi>>k, 1, 0)
+	}
+	// negative inputs shift in zeros from a large unsigned pattern
+	return i32(0, (int64(1)<<(32-k))-1, 1, 0)
+}
+
+// Sra abstracts arithmetic right shift by a constant.
+func (a Val) Sra(b Val) Val {
+	if b.M != 0 {
+		return Top
+	}
+	k := uint32(b.R) & 31
+	return i32(a.Lo>>k, a.Hi>>k, 1, 0)
+}
+
+// And abstracts bitwise and: exact when both sides are, bounded above by a
+// non-negative constant mask, and congruence-aware for low-zero masks
+// (x & ^(2^k-1) is ≡ 0 mod 2^k — how compilers align).
+func (a Val) And(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(int64(int32(a.R) & int32(b.R)))
+	}
+	if a.M != 0 {
+		if b.M != 0 {
+			return Top
+		}
+		a, b = b, a // constant side in a
+	}
+	c := int32(a.R)
+	// mask with k low zero bits forces ≡ 0 mod 2^k
+	m := int64(1)
+	for mm := int64(2); mm <= 1<<16 && int64(c)%mm == 0; mm *= 2 {
+		m = mm
+	}
+	if c >= 0 && b.Lo >= 0 {
+		hi := b.Hi
+		if int64(c) < hi {
+			hi = int64(c)
+		}
+		return i32(0, hi, m, 0)
+	}
+	if c < 0 && m > 1 {
+		// clearing low bits keeps the magnitude bounded by the operand
+		lo, hi := b.Lo, b.Hi
+		if lo > 0 {
+			lo = 0
+		}
+		return i32(lo, hi, m, 0)
+	}
+	return Top
+}
+
+// Or abstracts bitwise or (exact-only).
+func (a Val) Or(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(int64(int32(a.R) | int32(b.R)))
+	}
+	return Top
+}
+
+// Xor abstracts bitwise xor (exact-only).
+func (a Val) Xor(b Val) Val {
+	if a.M == 0 && b.M == 0 {
+		return Exact(int64(int32(a.R) ^ int32(b.R)))
+	}
+	return Top
+}
+
+// Not abstracts bitwise complement.
+func (a Val) Not() Val {
+	if a.M == 0 {
+		return Exact(int64(^int32(a.R)))
+	}
+	return i32(-a.Hi-1, -a.Lo-1, 1, 0)
+}
+
+// Div abstracts truncating int32 division (the machine faults on zero
+// divisors before this applies, so b excluding zero is the caller's
+// concern, not this function's).
+func (a Val) Div(b Val) Val {
+	if b.M == 0 && b.R != 0 {
+		if a.M == 0 {
+			return Exact(int64(int32(a.R) / int32(b.R)))
+		}
+		if b.R > 0 && a.Lo >= 0 {
+			return i32(a.Lo/b.R, a.Hi/b.R, 1, 0)
+		}
+	}
+	return Top
+}
+
+// Rem abstracts truncating int32 remainder.
+func (a Val) Rem(b Val) Val {
+	if b.M == 0 && b.R != 0 {
+		if a.M == 0 {
+			return Exact(int64(int32(a.R) % int32(b.R)))
+		}
+		c := abs64(b.R)
+		if a.Lo >= 0 {
+			if a.M > 0 && a.M%c == 0 && a.R < c {
+				// stride a multiple of the divisor: remainder is fixed
+				return Exact(a.R)
+			}
+			hi := c - 1
+			if a.Hi < hi {
+				hi = a.Hi
+			}
+			return i32(0, hi, 1, 0)
+		}
+		return i32(-(c - 1), c-1, 1, 0)
+	}
+	return Top
+}
+
+// ExcludesZero reports that no concrete value of a can be zero — the proof
+// obligation for divide/remainder sites.
+func (a Val) ExcludesZero() bool {
+	if a.Lo > 0 || a.Hi < 0 {
+		return true
+	}
+	if a.M == 0 {
+		return a.R != 0
+	}
+	return a.M > 1 && mod(a.R, a.M) != 0
+}

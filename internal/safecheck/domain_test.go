@@ -1,0 +1,136 @@
+package safecheck
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactWrapsToInt32(t *testing.T) {
+	v := Exact(math.MaxInt32 + 1)
+	if !v.IsExact() || v.R != math.MinInt32 {
+		t.Fatalf("Exact(2^31) = %s, want =%d", v, math.MinInt32)
+	}
+}
+
+func TestAddOverflowDegradesToTop(t *testing.T) {
+	a := Val{0, math.MaxInt32, 1, 0}
+	if got := a.Add(Exact(1)); got != Top {
+		t.Fatalf("[0,MaxInt32]+1 = %s, want Top", got)
+	}
+	b := Exact(10).Add(Exact(32))
+	if !b.IsExact() || b.R != 42 {
+		t.Fatalf("10+32 = %s", b)
+	}
+}
+
+func TestMulKeepsCongruence(t *testing.T) {
+	// i in [0,255] times 8: the address stride the examples use
+	i := Val{0, 255, 1, 0}
+	v := i.Mul(Exact(8))
+	if v.Lo != 0 || v.Hi != 2040 || v.M != 8 || v.R != 0 {
+		t.Fatalf("[0,255]*8 = %s, want [0,2040]≡0(mod 8)", v)
+	}
+}
+
+func TestShlIsMulByPowerOfTwo(t *testing.T) {
+	i := Val{0, 255, 1, 0}
+	if got, want := i.Shl(Exact(3)), i.Mul(Exact(8)); got != want {
+		t.Fatalf("[0,255]<<3 = %s, want %s", got, want)
+	}
+}
+
+func TestAndMaskAligns(t *testing.T) {
+	v := Val{0, 1000, 1, 0}.And(Exact(^int64(7)))
+	if v.M != 8 || v.R != 0 || v.Lo < 0 || v.Hi > 1000 {
+		t.Fatalf("[0,1000] & ^7 = %s, want 8-aligned within [0,1000]", v)
+	}
+}
+
+func TestJoinHullAndGcd(t *testing.T) {
+	v := Exact(4).Join(Exact(12))
+	if v.Lo != 4 || v.Hi != 12 || v.M != 8 || v.R != 4 {
+		t.Fatalf("join(=4,=12) = %s, want [4,12]≡4(mod 8)", v)
+	}
+}
+
+func TestWidenClimbsThresholds(t *testing.T) {
+	old := Val{0, 100, 1, 0}
+	grown := Val{0, 101, 1, 0}
+	w := grown.Widen(old)
+	if w.Hi != 1<<10 || w.Lo != 0 {
+		t.Fatalf("widen step 1 = %s, want hi at first threshold %d", w, 1<<10)
+	}
+	w2 := Val{0, w.Hi + 1, 1, 0}.Widen(w)
+	if w2.Hi != 1<<16 {
+		t.Fatalf("widen step 2 = %s, want hi at %d", w2, 1<<16)
+	}
+	// a stable bound must not move
+	if s := old.Widen(old); s != old {
+		t.Fatalf("widen of unchanged value = %s, want %s", s, old)
+	}
+}
+
+func TestClampSnapsToCongruence(t *testing.T) {
+	v := Val{0, 2040, 8, 0}
+	c, ok := v.Clamp(1, 2039)
+	if !ok || c.Lo != 8 || c.Hi != 2032 {
+		t.Fatalf("clamp [0,2040]≡0(8) to [1,2039] = %s ok=%v, want [8,2032]", c, ok)
+	}
+	if _, ok := v.Clamp(1, 7); ok {
+		t.Fatal("clamp to a congruence gap should be infeasible")
+	}
+}
+
+func TestClampCollapsesToExact(t *testing.T) {
+	v, ok := (Val{0, 100, 1, 0}).Clamp(42, 42)
+	if !ok || !v.IsExact() || v.R != 42 {
+		t.Fatalf("clamp to singleton = %s ok=%v", v, ok)
+	}
+}
+
+func TestTrimNE(t *testing.T) {
+	v, ok := (Val{0, 10, 1, 0}).trimNE(0)
+	if !ok || v.Lo != 1 {
+		t.Fatalf("trim 0 from [0,10] = %s ok=%v", v, ok)
+	}
+	if _, ok := Exact(0).trimNE(0); ok {
+		t.Fatal("trimming the only value must report infeasible")
+	}
+	mid, ok := (Val{0, 10, 1, 0}).trimNE(5)
+	if !ok || mid.Lo != 0 || mid.Hi != 10 {
+		t.Fatalf("interior trim must be a no-op, got %s", mid)
+	}
+}
+
+func TestExcludesZero(t *testing.T) {
+	cases := []struct {
+		v    Val
+		want bool
+	}{
+		{Exact(0), false},
+		{Exact(3), true},
+		{Val{1, 10, 1, 0}, true},
+		{Val{-10, -1, 1, 0}, true},
+		{Val{-10, 10, 1, 0}, false},
+		{Val{-10, 10, 4, 1}, true}, // ≡1 (mod 4) is never zero
+		{Val{-10, 10, 4, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.v.ExcludesZero(); got != c.want {
+			t.Errorf("%s.ExcludesZero() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDivRemRanges(t *testing.T) {
+	if v := (Val{0, 100, 1, 0}).Div(Exact(10)); v.Lo != 0 || v.Hi != 10 {
+		t.Fatalf("[0,100]/10 = %s", v)
+	}
+	// stride a multiple of the divisor pins the remainder
+	if v := (Val{3, 83, 8, 3}).Rem(Exact(4)); !v.IsExact() || v.R != 3 {
+		t.Fatalf("([3,83]≡3(8)) %% 4 = %s, want =3", v)
+	}
+	if v := (Val{0, 100, 1, 0}).Rem(Exact(7)); v.Lo != 0 || v.Hi != 6 {
+		t.Fatalf("[0,100] %% 7 = %s", v)
+	}
+}

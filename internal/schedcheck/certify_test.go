@@ -43,6 +43,62 @@ func TestCertifyRejectsIllegalSchedule(t *testing.T) {
 	}
 }
 
+// TestWAWOrderedRetireWarning: two in-flight writes to one register whose
+// retires stay in issue order are legal on the real machine (stalls freeze
+// every pipeline uniformly, so the order cannot invert) — schedcheck must
+// report the overlap at warning severity, keep it out of Errors(), and
+// still mint a certificate. Only the error paths were asserted end-to-end
+// before; this pins the warning path.
+func TestWAWOrderedRetireWarning(t *testing.T) {
+	// Two multiplies (4 beats each) to one register, one beat apart: the
+	// second retires one beat after the first — ordered, so a warning.
+	waw := mach.Instr{Slots: []mach.SlotOp{
+		ialuSlot(0, 0, mach.Op{Kind: ir.Mul, Type: ir.I32, Dst: ireg(5), A: regArg(mach.RegSP), B: immArg(3)}),
+		ialuSlot(1, 1, mach.Op{Kind: ir.Mul, Type: ir.I32, Dst: ireg(5), A: regArg(mach.RegSP), B: immArg(4)}),
+	}}
+	img := image(mach.Trace7(), defRVI(), waw, haltInstr())
+	rep := Check(img, Options{})
+
+	var found *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Check == CheckWAWOverlap {
+			found = &rep.Findings[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %s finding; got %v", CheckWAWOverlap, rep.Findings)
+	}
+	if found.Sev != Warn {
+		t.Fatalf("ordered-retire overlap reported as %s, want warning: %+v", found.Sev, found)
+	}
+	if found.Sev.String() != "warning" {
+		t.Fatalf("Severity.String() = %q, want %q", found.Sev.String(), "warning")
+	}
+	for _, f := range rep.Errors() {
+		if f.Check == CheckWAWOverlap {
+			t.Fatalf("warning leaked into Errors(): %+v", f)
+		}
+	}
+	var inWarnings bool
+	for _, f := range rep.Warnings() {
+		if f.Check == CheckWAWOverlap {
+			inWarnings = true
+		}
+	}
+	if !inWarnings {
+		t.Fatalf("overlap missing from Warnings(): %v", rep.Warnings())
+	}
+
+	cert, err := rep.Certify()
+	if err != nil {
+		t.Fatalf("ordered-retire warning blocked Certify: %v", err)
+	}
+	if cert == nil || cert.CertifiedImage() != img {
+		t.Fatalf("certificate does not cover the warned image")
+	}
+}
+
 func TestCertifyToleratesWarnings(t *testing.T) {
 	// Unreachable code is a warning, not an error: still certifiable.
 	img := image(mach.Trace7(), defRVI(), haltInstr(), haltInstr())

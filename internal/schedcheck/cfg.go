@@ -3,8 +3,29 @@ package schedcheck
 import (
 	"sort"
 
+	"github.com/multiflow-repro/trace/internal/isa"
 	"github.com/multiflow-repro/trace/internal/mach"
 )
+
+// CFG reconstructs and returns the image's machine-level control-flow
+// graph: succ[w] lists the instruction words control can reach from word w
+// (per the §6.5.2 successor rules buildCFG implements), and reachable[w]
+// reports whether any path from the entry point reaches w. Structural
+// findings the reconstruction would normally report are discarded; callers
+// that want them run Check. The export exists for sibling analyses — the
+// value-range safety interpretation (internal/safecheck) runs its fixpoint
+// over exactly this graph, so the two verifiers cannot disagree about what
+// "every path" means.
+func CFG(img *isa.Image) (succ [][]int, reachable []bool) {
+	c := &checker{
+		img:  img,
+		cfg:  img.Cfg,
+		rep:  &Report{Counts: map[string]int{}, Words: len(img.Instrs), img: img},
+		seen: map[findKey]bool{},
+	}
+	c.buildCFG()
+	return c.succ, c.reachable
+}
 
 // buildCFG reconstructs the machine-level control-flow graph from the
 // decoded instruction words. Successor rules mirror §6.5.2 and the

@@ -105,8 +105,8 @@ func artifactCost(key string, art *core.Artifact) int64 {
 // semantic run option. The simulator is a deterministic function of the
 // image (no wall clock, no randomness — performance counters included), so
 // one completed run answers every later identical request.
-func runKey(artKey string, fast bool, maxCycles int64) string {
-	return fmt.Sprintf("%s/fast=%t/max=%d", artKey, fast, maxCycles)
+func runKey(artKey string, fast, safe bool, maxCycles int64) string {
+	return fmt.Sprintf("%s/fast=%t/safe=%t/max=%d", artKey, fast, safe, maxCycles)
 }
 
 // runCache memoizes completed run results, bounded by entry count (results

@@ -90,6 +90,13 @@ type Metrics struct {
 	CompileErrors expvar.Int // requests rejected with a diagnostic (400)
 	// Machine pool.
 	MachinesInUse expvar.Int // machines currently executing a request
+	// Completed runs by the certificate grade that backed them (the
+	// simulator tier actually taken, cached results included): "none" ran
+	// fully checked, "resource" took the certified fast path, "safe" ran
+	// guard-free under a safety certificate.
+	RunsCertNone     expvar.Int
+	RunsCertResource expvar.Int
+	RunsCertSafe     expvar.Int
 	// Resume-snapshot store (deadline-paused runs awaiting /resume).
 	SnapshotsStored    expvar.Int // checkpoints issued (202 responses)
 	SnapshotsResumed   expvar.Int // checkpoints resumed to completion
@@ -109,6 +116,21 @@ type endpointMetrics struct {
 	// an operator which traffic class is being shed.
 	Rejected expvar.Int
 	Latency  histogram
+}
+
+// countRunTier buckets one completed run (solo or per-tenant) by the
+// certificate grade it executed under. The flags come from the result, not
+// the request: a safe request that fell back (it cannot today — tier
+// selection errors the run instead) would be counted at the tier it took.
+func (m *Metrics) countRunTier(fast, safe bool) {
+	switch {
+	case safe:
+		m.RunsCertSafe.Add(1)
+	case fast:
+		m.RunsCertResource.Add(1)
+	default:
+		m.RunsCertNone.Add(1)
+	}
 }
 
 func (e *endpointMetrics) snapshot() map[string]any {
@@ -139,6 +161,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"timeouts":        m.Timeouts.Value(),
 		"compile_errors":  m.CompileErrors.Value(),
 		"machines_in_use": m.MachinesInUse.Value(),
+		"cert_level": map[string]int64{
+			"none":     m.RunsCertNone.Value(),
+			"resource": m.RunsCertResource.Value(),
+			"safe":     m.RunsCertSafe.Value(),
+		},
 		"snapshots": map[string]any{
 			"stored":    m.SnapshotsStored.Value(),
 			"resumed":   m.SnapshotsResumed.Value(),

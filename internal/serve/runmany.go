@@ -131,7 +131,7 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 	defer cancelRun()
 	resp := RunManyResponse{Results: make([]RunManyResult, len(arts))}
 	ro := core.RunManyOptions{
-		Fast: req.Run.Fast, MaxCycles: req.Run.MaxCycles,
+		Fast: req.Run.Fast, Safe: req.Run.Safe, MaxCycles: req.Run.MaxCycles,
 		Quantum: req.Run.Quantum, SwitchBeats: req.Run.SwitchBeats,
 	}
 
@@ -143,12 +143,13 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 			go func(i int, art *core.Artifact) {
 				defer wg.Done()
 				out, err := s.runArtifact(rctx, art, RunRequestOptions{
-					Fast: req.Run.Fast, MaxCycles: req.Run.MaxCycles})
+					Fast: req.Run.Fast, Safe: req.Run.Safe, MaxCycles: req.Run.MaxCycles})
 				resp.Results[i] = RunManyResult{
 					Key: keys[i], CachedBuild: cachedBuild[i],
-					Fast: out.Fast, Exit: out.Exit, Output: out.Output,
+					Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
 					Stats: wireStats(out.Stats),
 				}
+				s.metrics.countRunTier(out.Fast, out.Safe)
 				if err != nil {
 					resp.Results[i].Error = err.Error()
 				}
@@ -177,9 +178,10 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 		for i, res := range rs {
 			resp.Results[i] = RunManyResult{
 				Key: keys[i], CachedBuild: cachedBuild[i],
-				Fast: res.Fast, Exit: res.Exit, Output: res.Output,
+				Fast: res.Fast, Safe: res.Safe, Exit: res.Exit, Output: res.Output,
 				Stats: wireStats(res.Stats),
 			}
+			s.metrics.countRunTier(res.Fast, res.Safe)
 			if res.Err != nil {
 				resp.Results[i].Error = res.Err.Error()
 			}

@@ -148,6 +148,11 @@ type RunRequestOptions struct {
 	// Fast requests the certified fast path (the artifact must lint
 	// clean; its cached Certificate authorizes skipping dynamic checks).
 	Fast bool `json:"fast,omitempty"`
+	// Safe requests the guard-free safe tier: everything Fast removes,
+	// plus deletion of the runtime guards at every site the value-range
+	// analysis proved in bounds. Requires the artifact's safety
+	// certificate (minted once, cached on the artifact) and implies Fast.
+	Safe bool `json:"safe,omitempty"`
 	// MaxCycles overrides the simulator's beat budget (0 = default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 	// NoCache bypasses the memoized run results for this request.
@@ -177,6 +182,9 @@ type RunManyRunOptions struct {
 	// Fast requests the certified fast path for every tenant; the batch
 	// fails if any program does not certify.
 	Fast bool `json:"fast,omitempty"`
+	// Safe requests the guard-free safe tier for every tenant
+	// (all-or-nothing, like Fast, and implies Fast).
+	Safe bool `json:"safe,omitempty"`
 	// MaxCycles caps each tenant's beat budget (0 = default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 	// Quantum overrides the scheduler's round-robin timeslice in beats.
@@ -205,6 +213,7 @@ type RunManyResult struct {
 	Key         string   `json:"key"`
 	CachedBuild bool     `json:"cached_build"`
 	Fast        bool     `json:"fast"`
+	Safe        bool     `json:"safe,omitempty"`
 	Exit        int32    `json:"exit"`
 	Output      string   `json:"output"`
 	Stats       RunStats `json:"stats"`
@@ -261,13 +270,16 @@ type RunStats struct {
 
 // RunResponse reports one execution.
 type RunResponse struct {
-	Key          string   `json:"key"`
-	CachedBuild  bool     `json:"cached_build"`
-	CachedResult bool     `json:"cached_result"`
-	Fast         bool     `json:"fast"`
-	Exit         int32    `json:"exit"`
-	Output       string   `json:"output"`
-	Stats        RunStats `json:"stats"`
+	Key          string `json:"key"`
+	CachedBuild  bool   `json:"cached_build"`
+	CachedResult bool   `json:"cached_result"`
+	Fast         bool   `json:"fast"`
+	// Safe reports the run executed on the guard-free safe tier under the
+	// artifact's safety certificate.
+	Safe   bool     `json:"safe,omitempty"`
+	Exit   int32    `json:"exit"`
+	Output string   `json:"output"`
+	Stats  RunStats `json:"stats"`
 }
 
 // LintFinding is the wire form of one schedcheck finding.
@@ -531,7 +543,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rkey := runKey(key, req.Run.Fast, req.Run.MaxCycles)
+	rkey := runKey(key, req.Run.Fast, req.Run.Safe, req.Run.MaxCycles)
 	var out core.ExitResult
 	cachedResult := false
 	if !req.Run.NoCache {
@@ -556,9 +568,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.Run.Latency.observe(time.Since(start))
+	s.metrics.countRunTier(out.Fast, out.Safe)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Key: key, CachedBuild: cachedBuild, CachedResult: cachedResult,
-		Fast: out.Fast, Exit: out.Exit, Output: out.Output,
+		Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
 		Stats: wireStats(out.Stats),
 	})
 }
@@ -577,7 +590,7 @@ func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, o RunReque
 		s.machines.Put(m)
 	}()
 	return art.RunOn(ctx, m, core.RunOptions{
-		Fast: o.Fast, MaxCycles: o.MaxCycles,
+		Fast: o.Fast, Safe: o.Safe, MaxCycles: o.MaxCycles,
 		SnapshotOnInterrupt: s.snapshots != nil,
 	})
 }

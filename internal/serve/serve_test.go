@@ -216,6 +216,108 @@ func TestRunResultMemoized(t *testing.T) {
 	}
 }
 
+// guardedSrc exercises every guard class the safe tier can delete: array
+// stores and loads behind provable loop bounds, plus a division by a
+// nonzero constant.
+const guardedSrc = `
+var a [8]int
+func main() int {
+	var s int = 0
+	for (var i int = 0; i < 8; i = i + 1) { a[i] = i * 3 }
+	for (var i int = 0; i < 8; i = i + 1) { s = s + a[i] }
+	return s / 3
+}
+`
+
+// TestRunSafeTier: run.safe selects the guard-free tier end to end — the
+// response reports it, the memo keeps safe and fast results apart, and the
+// /metrics cert_level tree counts each run at the grade it executed under.
+func TestRunSafeTier(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallelism: 1})
+
+	safeReq := RunRequest{Source: guardedSrc, Run: RunRequestOptions{Safe: true}}
+	resp, raw := post(t, hs.URL+"/run", safeReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("safe run: status %d: %s", resp.StatusCode, raw)
+	}
+	safe := decode[RunResponse](t, raw)
+	if !safe.Safe || !safe.Fast {
+		t.Fatalf("safe run not on the safe tier: %+v", safe)
+	}
+
+	// The fast run of the same source must not be served from the safe
+	// run's memo entry (distinct runKey) and must report safe=false.
+	resp, raw = post(t, hs.URL+"/run", RunRequest{Source: guardedSrc, Run: RunRequestOptions{Fast: true}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast run: status %d: %s", resp.StatusCode, raw)
+	}
+	fast := decode[RunResponse](t, raw)
+	if fast.CachedResult {
+		t.Error("fast run hit the safe run's memo entry (runKey ignores the tier)")
+	}
+	if fast.Safe || !fast.Fast {
+		t.Errorf("fast run tier flags: %+v", fast)
+	}
+	if fast.Exit != safe.Exit || fast.Output != safe.Output || fast.Stats != safe.Stats {
+		t.Errorf("tiers disagree:\n safe: %+v\n fast: %+v", safe, fast)
+	}
+
+	// A repeat safe request is a memo hit and keeps its tier flags.
+	resp, raw = post(t, hs.URL+"/run", safeReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached safe run: status %d: %s", resp.StatusCode, raw)
+	}
+	cached := decode[RunResponse](t, raw)
+	if !cached.CachedResult || !cached.Safe {
+		t.Errorf("cached safe run lost its tier: %+v", cached)
+	}
+
+	if got := s.Metrics().RunsCertSafe.Value(); got != 2 {
+		t.Errorf("RunsCertSafe = %d, want 2", got)
+	}
+	if got := s.Metrics().RunsCertResource.Value(); got != 1 {
+		t.Errorf("RunsCertResource = %d, want 1", got)
+	}
+}
+
+// TestRunManySafeTier: the batch endpoint puts every tenant on the safe
+// tier under both tenancies and the results stay identical to checked ones.
+func TestRunManySafeTier(t *testing.T) {
+	_, hs := newTestServer(t, Config{Parallelism: 1})
+
+	for _, tenancy := range []string{"contexts", "machines"} {
+		req := runManyReq(tenancy, true)
+		req.Run.Safe = true
+		resp, raw := post(t, hs.URL+"/runmany", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tenancy, resp.StatusCode, raw)
+		}
+		batch := decode[RunManyResponse](t, raw)
+		checked := decode[RunManyResponse](t, mustPostOK(t, hs.URL+"/runmany", runManyReq(tenancy, false)))
+		for i, r := range batch.Results {
+			if r.Error != "" {
+				t.Fatalf("%s tenant %d: %s", tenancy, i, r.Error)
+			}
+			if !r.Safe || !r.Fast {
+				t.Errorf("%s tenant %d not on the safe tier: %+v", tenancy, i, r)
+			}
+			c := checked.Results[i]
+			if r.Exit != c.Exit || r.Output != c.Output || r.Stats != c.Stats {
+				t.Errorf("%s tenant %d: safe tier diverges from checked:\n safe:    %+v\n checked: %+v", tenancy, i, r, c)
+			}
+		}
+	}
+}
+
+func mustPostOK(t *testing.T, url string, body any) []byte {
+	t.Helper()
+	resp, raw := post(t, url, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	return raw
+}
+
 func TestRunDeadlineReturns504AndMachineToPool(t *testing.T) {
 	// SnapshotBytes < 0 disables checkpointing: the deadline maps straight
 	// to 504 (the default configuration instead answers 202 + resume token;
@@ -415,7 +517,7 @@ func TestMetricsEndpointShape(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"artifact_cache", "run_cache", "endpoints", "in_flight", "machines_in_use"} {
+	for _, k := range []string{"artifact_cache", "run_cache", "endpoints", "in_flight", "machines_in_use", "cert_level"} {
 		if _, ok := snap[k]; !ok {
 			t.Errorf("metrics snapshot missing %q", k)
 		}

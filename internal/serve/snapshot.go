@@ -348,9 +348,10 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	s.snapshots.remove(req.Token)
 	s.metrics.SnapshotsResumed.Add(1)
 	s.metrics.Resume.Latency.observe(time.Since(start))
+	s.metrics.countRunTier(out.Fast, out.Safe)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Key: meta.ArtKey, CachedBuild: cachedBuild,
-		Fast: out.Fast, Exit: out.Exit, Output: out.Output,
+		Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
 		Stats: wireStats(out.Stats),
 	})
 }
@@ -364,7 +365,7 @@ func (s *Server) resumeArtifact(ctx context.Context, art *core.Artifact, snap []
 		s.machines.Put(m)
 	}()
 	return art.RunFromOn(ctx, m, snap, core.RunOptions{
-		Fast: o.Fast, MaxCycles: o.MaxCycles, SnapshotOnInterrupt: true})
+		Fast: o.Fast, Safe: o.Safe, MaxCycles: o.MaxCycles, SnapshotOnInterrupt: true})
 }
 
 // StartDrain flips the server to draining: /readyz starts answering 503 so

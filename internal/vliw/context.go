@@ -38,6 +38,7 @@ type Context struct {
 	img  *isa.Image
 	plan []planWord
 	fast bool
+	safe bool // plan is the guard-free safe-tier plan (UseSafeCertificate)
 	asid uint8
 
 	// Architectural register state, partitioned per board pair (§6).
@@ -88,6 +89,7 @@ func (c *Context) reset(id int, img *isa.Image, plan []planWord, cfg mach.Config
 	c.img = img
 	c.plan = plan
 	c.fast = false
+	c.safe = false
 	c.asid = 0
 
 	if need := img.RequiredMem(); int64(cap(c.mem)) >= need {
@@ -233,6 +235,9 @@ func (c *Context) Output() string { return c.out.String() }
 
 // Fast reports whether the context runs on the certified fast path.
 func (c *Context) Fast() bool { return c.fast }
+
+// Safe reports whether the context runs on the guard-free safe tier.
+func (c *Context) Safe() bool { return c.safe }
 
 // Err returns the context's terminal error: a *Fault or *ErrCycleLimit when
 // the context died, nil while it is runnable or after a clean halt.

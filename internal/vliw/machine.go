@@ -26,6 +26,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"strings"
 
 	"github.com/multiflow-repro/trace/internal/ir"
 	"github.com/multiflow-repro/trace/internal/isa"
@@ -231,6 +233,15 @@ type Machine struct {
 	// plan is the pre-decoded execution plan for Img (see plan.go),
 	// cached across Reset calls that re-target the same image.
 	plan []planWord
+
+	// Safe-tier plan cache: the guard-free plan derived by buildSafePlan
+	// for (safeImg, safeCert), kept across Reset calls exactly like plan so
+	// re-arming the same certificate after a Reset costs one pointer
+	// compare, not a plan rebuild. Single-slot: arming a second image's
+	// certificate (mixed-image RunMany) rebuilds.
+	safePlan []planWord
+	safeImg  *isa.Image
+	safeCert SafetyCertificate
 
 	// I/O processor DMA stream (§8.3), active when dmaRate > 0. The IOP
 	// targets the current context's address space.
@@ -479,6 +490,64 @@ func (m *Machine) UseCertificate(c Certificate) error {
 // Fast reports whether the current context is on the certified fast path.
 func (m *Machine) Fast() bool { return m.cur.fast }
 
+// A SafetyCertificate attests, beyond the resource Certificate it extends,
+// that specific guarded sites — loads, stores, divides — can never fault:
+// no reachable execution makes their effective address escape RAM or break
+// alignment, or their divisor reach zero. SafeSite is the per-site bitmask;
+// the machine runs the guard-free variant of exactly the sites it covers
+// and keeps every dynamic guard elsewhere. The concrete implementation is
+// safecheck.Certify.
+type SafetyCertificate interface {
+	Certificate
+	// SafeSite reports whether the operation issued at (word, unit, beat)
+	// is proven safe.
+	SafeSite(word int, unit mach.Unit, beat uint8) bool
+}
+
+// UseSafeCertificate arms the safe tier — the third execution tier — for
+// every resident context running the certified image: the fast tier's
+// skipped resource/race checks, plus guard-free execution of each site the
+// certificate's bitmask proves safe. Unproven sites keep all their guards,
+// as do PC bounds, bad opcodes, unknown syscalls, and the cycle limit; a
+// certificate with an empty bitmask degenerates to exactly the fast tier.
+// The derived guard-free plan is cached on the machine and reused when the
+// same certificate is re-armed after a Reset.
+func (m *Machine) UseSafeCertificate(c SafetyCertificate) error {
+	if c == nil {
+		return fmt.Errorf("vliw: safety certificate does not cover this image")
+	}
+	img := c.CertifiedImage()
+	found := false
+	for _, ctx := range m.ctxs {
+		if ctx.img == img {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("vliw: safety certificate does not cover this image")
+	}
+	if m.safeCert != c || m.safeImg != img {
+		base := m.plan
+		if m.Img != img {
+			base = buildPlan(img)
+		}
+		m.safePlan = buildSafePlan(img, base, c)
+		m.safeImg, m.safeCert = img, c
+	}
+	for _, ctx := range m.ctxs {
+		if ctx.img == img {
+			ctx.fast = true
+			ctx.safe = true
+			ctx.plan = m.safePlan
+		}
+	}
+	return nil
+}
+
+// Safe reports whether the current context is on the safe (guard-free)
+// tier.
+func (m *Machine) Safe() bool { return m.cur.safe }
+
 // Output returns the output printed so far by the current context.
 func (m *Machine) Output() string { return m.cur.out.String() }
 
@@ -595,10 +664,24 @@ func (m *Machine) RunContext(ctx context.Context) (int32, string, error) {
 
 // run is the shared boot-and-step loop for a single context; ctx == nil
 // means no cancellation polling at all (the Run path).
-func (m *Machine) run(ctx context.Context) (int32, string, error) {
+func (m *Machine) run(ctx context.Context) (exit int32, out string, err error) {
 	c := m.ctxs[0]
 	m.cur = c
 	m.curIdx = 0
+	if c.safe {
+		// The safe tier's last line of defense: a post-certification image
+		// mutation can drive a guard-free site into the Go runtime's own
+		// slice-bounds or divide check. One deferred recover per run (not
+		// per step — the hot loop stays untouched) converts that panic back
+		// into the Fault the deleted guard would have raised; the blast
+		// radius is this context, never the process.
+		defer func() {
+			if r := recover(); r != nil {
+				m.finish(c)
+				exit, out, err = 0, c.out.String(), m.safeTierFault(c, r)
+			}
+		}()
+	}
 	if c.restored {
 		// Resuming a checkpoint: the context's state — banked Stats
 		// included — IS the execution; booting would restart the program.
@@ -726,7 +809,12 @@ func (m *Machine) RunMany(ctx context.Context) ([]ContextResult, error) {
 
 		b0 := c.beat
 		s0 := m.Stats.BankStalls + m.Stats.RefillBeats
-		err := m.step(c)
+		var err error
+		if c.safe {
+			err = m.stepSafe(c)
+		} else {
+			err = m.step(c)
+		}
 		delta := c.beat - b0
 		stall := m.Stats.BankStalls + m.Stats.RefillBeats - s0
 		m.beat += delta
@@ -832,6 +920,36 @@ func (m *Machine) results() []ContextResult {
 
 func (m *Machine) fault(c *Context, code TrapCode, format string, args ...any) error {
 	return &Fault{Code: code, PC: c.pc, Beat: c.beat, Unit: m.curUnit, Msg: fmt.Sprintf(format, args...)}
+}
+
+// stepSafe is step with the safe tier's panic containment for the RunMany
+// scheduler, where one context's guard-free fault must retire only that
+// context. The deferred recover costs a few nanoseconds per instruction, so
+// the single-context run loop uses one run-level defer instead; RunMany's
+// per-step scheduling work already dwarfs it.
+func (m *Machine) stepSafe(c *Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = m.safeTierFault(c, r)
+		}
+	}()
+	return m.step(c)
+}
+
+// safeTierFault converts a Go runtime panic that escaped a guard-free safe
+// site back into the machine fault the deleted guard would have raised.
+// Anything that is not a runtime error (a panicking instrumentation hook,
+// a simulator bug) is re-thrown: the safe tier contains exactly the class
+// of failure its certificate weakened, nothing else.
+func (m *Machine) safeTierFault(c *Context, r any) error {
+	re, ok := r.(runtime.Error)
+	if !ok {
+		panic(r)
+	}
+	if strings.Contains(re.Error(), "divide by zero") {
+		return m.fault(c, TrapDivZero, "integer divide by zero (safe tier containment)")
+	}
+	return m.fault(c, TrapMemBounds, "bus error (safe tier containment): %v", re)
 }
 
 // StallBank forces the RAM bank holding byte address ea busy for the next n
@@ -958,7 +1076,7 @@ func (m *Machine) step(c *Context) error {
 					bestPrio = p.op.Prio
 					nextPC = t
 				}
-			} else if err := m.execOp(p.op, p.lat); err != nil {
+			} else if err := m.execOp(p); err != nil {
 				return err
 			}
 			m.curUnit = ""

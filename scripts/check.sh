@@ -19,8 +19,16 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== tracelint (static schedule verification: examples x O0/O1/O2 x Trace 7/14/28)"
-go run ./cmd/tracelint -matrix examples/*.mf
+echo "== go test -race, focused: simulator tiers/contexts/snapshots + serving layer"
+# The suite above already runs these packages once under -race, but cached
+# results satisfy it on re-runs; -count=1 forces the two packages with real
+# cross-goroutine traffic (pooled machines, hardware contexts, snapshot
+# store, safe-tier plan cache) to re-execute under the detector every time.
+go vet ./internal/vliw/ ./internal/serve/
+go test -race -count=1 ./internal/vliw/ ./internal/serve/
+
+echo "== tracelint (static schedule + safety verification: examples x O0/O1/O2 x Trace 7/14/28)"
+go run ./cmd/tracelint -matrix -safety examples/*.mf
 echo "== tracelint (checked-in fuzz corpus)"
 go run ./cmd/tracelint -corpus internal/fuzz/testdata/fuzz/FuzzDifferential/*
 
@@ -58,8 +66,8 @@ done
 rm -rf "$snapdir"
 rm -f /tmp/tracesim.check
 
-echo "== tracefuzz smoke (deterministic differential + K=4 timeshare oracle)"
-go run ./cmd/tracefuzz -seed 1 -n 200 -timeshare
+echo "== tracefuzz smoke (3-way tier matrix: checked/fast/safe + K=4 timeshare oracle)"
+go run ./cmd/tracefuzz -seed 1 -n 200 -safe -timeshare
 
 echo "== tracefuzz checkpoint oracle (random-beat splits, checked + certified-fast)"
 go run ./cmd/tracefuzz -seed 1 -n 50 -snapshot

@@ -67,6 +67,7 @@ import (
 	"github.com/multiflow-repro/trace/internal/mach"
 	"github.com/multiflow-repro/trace/internal/opt"
 	"github.com/multiflow-repro/trace/internal/pipeline"
+	"github.com/multiflow-repro/trace/internal/safecheck"
 	"github.com/multiflow-repro/trace/internal/schedcheck"
 	"github.com/multiflow-repro/trace/internal/vliw"
 )
@@ -304,6 +305,40 @@ type Certificate = schedcheck.Certificate
 // certificate on the artifact for every subsequent fast run.
 func Certify(res *Result) (*Certificate, error) {
 	return core.Certify(res)
+}
+
+// SafeCertificate is the graded certificate one level above Certificate:
+// proof of the resource contract plus a per-site bitmask of loads, stores,
+// and divides whose bounds/alignment/zero-divisor guards can never fire. It
+// authorizes the simulator's safe tier (RunOptions.Safe,
+// Machine.UseSafeCertificate) — and it is the proof a plugin-compiled
+// (JIT'd) image would have to present before emitting guard-free native
+// code.
+type SafeCertificate = safecheck.SafeCertificate
+
+// SafetyReport is the value-range safety analysis' per-site verdict list
+// (Artifact.Safety): every guarded operation, proven or unprovable, with
+// func:line attribution and the offending interval when unproven.
+type SafetyReport = safecheck.Report
+
+// CertifySafe statically verifies the compiled image at both grades and
+// mints the graded SafeCertificate.
+//
+// Deprecated: use Artifact.CertifySafe, which mints once and caches the
+// certificate on the artifact for every subsequent safe run.
+func CertifySafe(res *Result) (*SafeCertificate, error) {
+	return core.CertifySafe(res)
+}
+
+// RunSafe executes a compiled program on the safe tier: the fast path's
+// skipped resource/race checks plus guard-free execution of every memory
+// and divide site the value-range analysis proves can never fault. Exit
+// value, output, and statistics are identical to Run and RunFast.
+//
+// Deprecated: use Artifact.Run with RunOptions{Safe: true}, which reuses
+// the artifact's cached SafeCertificate instead of re-analyzing per call.
+func RunSafe(res *Result) (int32, string, *Stats, error) {
+	return core.RunSafe(res)
 }
 
 // RunFast executes a compiled program on the certified fast path: the image
