@@ -466,6 +466,7 @@ func BenchmarkSimulatorContexts(b *testing.B) {
 	}
 	b.ReportMetric(float64(work)/b.Elapsed().Seconds(), "beats/s")
 	b.ReportMetric(float64(wall)/float64(work), "wall-beats/work-beat")
+	b.ReportMetric(4, "contexts")
 }
 
 // BenchmarkSimulatorFast measures the certified fast path on the same
@@ -510,6 +511,34 @@ func BenchmarkSimulatorSafe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Reset(res.Image)
 		if err := m.UseSafeCertificate(cert); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		beats += m.Stats.Beats
+	}
+	b.ReportMetric(float64(beats)/b.Elapsed().Seconds(), "beats/s")
+}
+
+// BenchmarkSimulatorNative measures the closure-threaded native tier: the
+// same graded certificate as the safe tier, but each beat is translated once
+// into a fused closure sequence — no per-op dispatch switch, no operand
+// re-decode, and no guards at proven sites. The translation is built outside
+// the timed region and cached across Reset; the floor enforced by
+// scripts/bench.sh is native >= safe.
+func BenchmarkSimulatorNative(b *testing.B) {
+	res := mustCompile(b, daxpyBench, Options{ProfileRun: true})
+	cert, err := CertifySafe(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMachine(res)
+	var beats int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(res.Image)
+		if err := m.UseNativeCertificate(cert); err != nil {
 			b.Fatal(err)
 		}
 		if _, _, err := m.Run(); err != nil {

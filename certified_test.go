@@ -1,10 +1,10 @@
 // Differential test of the certified execution tiers: for every example
 // program, optimization level, and machine width, the checked interpreter,
-// the certified fast path, and the guard-free safe tier must produce
-// byte-identical results — same exit value, same printed output, and the
-// same value in every Stats counter. The upper tiers skip checking, never
-// timing: any divergence here means the execution modes disagree about the
-// machine itself.
+// the certified fast path, the guard-free safe tier, and the
+// closure-threaded native tier must produce byte-identical results — same
+// exit value, same printed output, and the same value in every Stats
+// counter. The upper tiers skip checking, never timing: any divergence
+// here means the execution modes disagree about the machine itself.
 package trace
 
 import (
@@ -14,7 +14,16 @@ import (
 	"testing"
 )
 
-func TestFastCheckedAgree(t *testing.T) {
+type tierRunner struct {
+	name string
+	run  func(*Result) (int32, string, *Stats, error)
+}
+
+// agreeOnExamples runs every example x O0/O1/O2 x Trace 7/14/28 on the
+// checked interpreter and on each given tier, and fails on any difference
+// in trap status, fault text, exit value, output, or any Stats counter.
+func agreeOnExamples(t *testing.T, tiers []tierRunner) {
+	t.Helper()
 	mfs, err := filepath.Glob("examples/*.mf")
 	if err != nil || len(mfs) == 0 {
 		t.Fatalf("no example programs found: %v", err)
@@ -40,10 +49,7 @@ func TestFastCheckedAgree(t *testing.T) {
 					}
 
 					cv, cout, cst, cerr := Run(res)
-					for _, tier := range []struct {
-						name string
-						run  func(*Result) (int32, string, *Stats, error)
-					}{{"fast", RunFast}, {"safe", RunSafe}} {
+					for _, tier := range tiers {
 						fv, fout, fst, ferr := tier.run(res)
 						if (cerr == nil) != (ferr == nil) {
 							t.Fatalf("trap disagreement: checked err=%v, %s err=%v", cerr, tier.name, ferr)
@@ -68,4 +74,16 @@ func TestFastCheckedAgree(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestFastCheckedAgree(t *testing.T) {
+	agreeOnExamples(t, []tierRunner{{"fast", RunFast}, {"safe", RunSafe}})
+}
+
+// TestNativeCheckedAgree holds the native tier to the same contract: the
+// per-image closure translation may delete dispatch and guards, but every
+// observable — including each of the Stats counters — must match the
+// checked interpreter bit for bit.
+func TestNativeCheckedAgree(t *testing.T) {
+	agreeOnExamples(t, []tierRunner{{"native", RunNative}})
 }

@@ -75,10 +75,11 @@ func main() {
 		fatal(fmt.Errorf("memoized run diverged: %+v vs %+v", run2, run1))
 	}
 
-	// 4. Run on the guard-free safe tier: the result must match the fast
-	// run exactly (the certificate only deletes guards the analysis proved
-	// can never fire).
-	var runSafe struct {
+	// 4. Run on the guard-free safe tier and the closure-threaded native
+	// tier by name: each result must match the fast run exactly (stronger
+	// certificates change how the image executes, never what it computes).
+	type tierRun struct {
+		Tier   string `json:"tier"`
 		Fast   bool   `json:"fast"`
 		Safe   bool   `json:"safe"`
 		Exit   int32  `json:"exit"`
@@ -87,13 +88,16 @@ func main() {
 			Beats int64 `json:"beats"`
 		} `json:"stats"`
 	}
-	postJSON(client, base+"/run",
-		map[string]any{"source": string(src), "run": map[string]any{"safe": true}}, &runSafe)
-	if !runSafe.Safe || !runSafe.Fast {
-		fatal(fmt.Errorf("safe run not on the safe tier: %+v", runSafe))
-	}
-	if runSafe.Exit != run1.Exit || runSafe.Output != run1.Output || runSafe.Stats.Beats != run1.Stats.Beats {
-		fatal(fmt.Errorf("safe tier diverged from fast: %+v vs %+v", runSafe, run1))
+	for _, tier := range []string{"safe", "native"} {
+		var got tierRun
+		postJSON(client, base+"/run",
+			map[string]any{"source": string(src), "run": map[string]any{"tier": tier}}, &got)
+		if got.Tier != tier || !got.Safe || !got.Fast {
+			fatal(fmt.Errorf("%s run not on the %s tier: %+v", tier, tier, got))
+		}
+		if got.Exit != run1.Exit || got.Output != run1.Output || got.Stats.Beats != run1.Stats.Beats {
+			fatal(fmt.Errorf("%s tier diverged from fast: %+v vs %+v", tier, got, run1))
+		}
 	}
 
 	// 5. Lint: the example must verify clean.
@@ -140,8 +144,9 @@ func main() {
 			Hits int64 `json:"hits"`
 		} `json:"run_cache"`
 		CertLevel struct {
-			Resource int64 `json:"resource"`
-			Safe     int64 `json:"safe"`
+			Fast   int64 `json:"fast"`
+			Safe   int64 `json:"safe"`
+			Native int64 `json:"native"`
 		} `json:"cert_level"`
 	}
 	err = json.NewDecoder(mresp.Body).Decode(&metrics)
@@ -152,11 +157,11 @@ func main() {
 	if metrics.ArtifactCache.Hits == 0 || metrics.RunCache.Hits == 0 {
 		fatal(fmt.Errorf("metrics did not record cache hits: %+v", metrics))
 	}
-	if metrics.CertLevel.Resource == 0 || metrics.CertLevel.Safe == 0 {
+	if metrics.CertLevel.Fast == 0 || metrics.CertLevel.Safe == 0 || metrics.CertLevel.Native == 0 {
 		fatal(fmt.Errorf("metrics did not record the run tiers: %+v", metrics.CertLevel))
 	}
 
-	fmt.Println("srvsmoke: ok (compile, cache hit, run, memoized run, safe tier, lint, structured error, metrics)")
+	fmt.Println("srvsmoke: ok (compile, cache hit, run, memoized run, safe tier, native tier, lint, structured error, metrics)")
 }
 
 func postJSON(client *http.Client, url string, body any, out any) {

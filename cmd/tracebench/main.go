@@ -7,7 +7,8 @@
 //	tracebench -exp e1     run one experiment (e1..e12, f1)
 //	tracebench -list       list experiments
 //	tracebench -j N        bound the compiler's backend worker pool
-//	tracebench -fast       simulate on the certified fast path (same tables)
+//	tracebench -tier T     simulate on the named tier (same tables);
+//	                       -fast is a deprecated alias for -tier=fast
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 
+	"github.com/multiflow-repro/trace/internal/vliw"
 	"github.com/multiflow-repro/trace/internal/xp"
 )
 
@@ -24,10 +26,23 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, f1, all)")
 	list := flag.Bool("list", false, "list experiments")
 	jobs := flag.Int("j", 0, "compiler backend worker pool size (0 = one per CPU, 1 = sequential)")
-	fast := flag.Bool("fast", false, "simulate on the certified fast path (tables are identical)")
+	tierName := flag.String("tier", "", "execution tier for the simulations: checked (default), fast, safe, or native (tables are identical)")
+	fast := flag.Bool("fast", false, "deprecated: alias for -tier=fast")
 	flag.Parse()
 	xp.Parallelism = *jobs
-	xp.Fast = *fast
+	reqTier, err := vliw.ParseTier(*tierName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracebench:", err)
+		os.Exit(2)
+	}
+	if *fast {
+		fmt.Fprintln(os.Stderr, "tracebench: -fast is deprecated; use -tier=fast")
+	}
+	xp.Tier, err = vliw.ResolveTier(reqTier, *fast, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracebench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range xp.Registry() {

@@ -6,20 +6,26 @@
 //
 // Usage:
 //
-//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-fast] [-safe] [-timeshare] [-snapshot] [-v]
+//	tracefuzz [-seed N] [-n N] [-j N] [-ref-steps N] [-tier T] [-timeshare] [-snapshot] [-v]
 //
 // The run is deterministic: the same -seed and -n always test the same
 // programs, and a reported seed is a complete reproduction recipe.
+// -tier selects the execution-tier regime: checked (the default) runs the
+// dynamically verified tier only; fast runs each image on the certified
+// fast path; safe or native upgrade the oracle to the four-way tier matrix —
+// every image also runs on the fast path, the guard-free safe tier, and the
+// closure-threaded native tier, and all four runs must agree on the exit
+// value, the output, the fault, and every Stats counter. The deprecated
+// -fast and -safe flags are aliases for -tier=fast and -tier=safe.
 // With -timeshare, a clean campaign is followed by the multi-context stage:
-// the same generated programs run again time-shared four to a machine, and
-// every program must reproduce its solo exit, output, and stats exactly.
-// With -safe, every image additionally runs on the certified fast path and
-// the guard-free safe tier, and the three runs must agree on the exit value,
-// the output, the fault, and every Stats counter.
+// the same generated programs run again time-shared four to a machine on
+// the selected tier, and every program must reproduce its solo exit,
+// output, and stats exactly.
 // With -snapshot, a clean campaign is followed by the checkpoint/restore
 // stage: each program runs again split at random beats — pause, serialize,
-// restore on a fresh machine, continue, in both checked and certified-fast
-// modes — and must reproduce its uninterrupted run bit-for-bit.
+// restore on a fresh machine, continue, in the checked and certified-fast
+// modes plus the selected tier — and must reproduce its uninterrupted run
+// bit-for-bit.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"sync"
 
 	"github.com/multiflow-repro/trace/internal/fuzz"
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 type outcome struct {
@@ -46,8 +53,9 @@ func main() {
 	n := flag.Int64("n", 500, "number of consecutive seeds to test")
 	jobs := flag.Int("j", 0, "worker pool size (0 = one per CPU)")
 	refSteps := flag.Int64("ref-steps", 0, "reference interpreter op budget (0 = default)")
-	fast := flag.Bool("fast", false, "run images on the certified fast path (lint stage carries the legality burden)")
-	safe := flag.Bool("safe", false, "three-way tier matrix: every image also runs on the fast path and the guard-free safe tier, and all three must agree on exit, output, fault, and every Stats counter")
+	tierFlag := flag.String("tier", "", "execution tier regime: checked (default), fast, or safe/native (four-way tier matrix: every image also runs on the fast, safe, and native tiers, and all four must agree on exit, output, fault, and every Stats counter)")
+	fast := flag.Bool("fast", false, "deprecated: alias for -tier=fast")
+	safe := flag.Bool("safe", false, "deprecated: alias for -tier=safe (the tier matrix, now four-way)")
 	timeshare := flag.Bool("timeshare", false, "also run the generated programs time-shared K=4 and require solo-identical results")
 	snapshot := flag.Bool("snapshot", false, "also split each generated program's run at random beats via snapshot/restore and require uninterrupted-identical results")
 	verbose := flag.Bool("v", false, "print every seed's outcome")
@@ -55,13 +63,29 @@ func main() {
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()
 	}
+	reqTier, err := vliw.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracefuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if *fast {
+		fmt.Fprintln(os.Stderr, "tracefuzz: -fast is deprecated; use -tier=fast")
+	}
+	if *safe {
+		fmt.Fprintln(os.Stderr, "tracefuzz: -safe is deprecated; use -tier=safe")
+	}
+	tier, err := vliw.ResolveTier(reqTier, *fast, *safe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracefuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	// SIGINT drains the campaign: in-flight oracle runs stop at the next
 	// compile-pass or simulation-check boundary and the summary still prints.
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSig()
 
-	opts := fuzz.Options{RefSteps: *refSteps, Fast: *fast, Safe: *safe}
+	opts := fuzz.Options{RefSteps: *refSteps, Tier: tier}
 	seeds := make(chan int64)
 	results := make(chan outcome)
 	var wg sync.WaitGroup

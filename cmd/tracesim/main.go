@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracesim [-pairs N] [-O level] [-profile] [-j N] [-verify] [-time-passes]
-//	         [-trace] [-baselines] [-fast[=safe]|-checked] [-max-cycles N]
+//	         [-trace] [-baselines] [-tier T|-checked] [-max-cycles N]
 //	         [-snapshot-at N] [-snapshot-file F] [-resume F]
 //	         [-contexts K] [-quantum N] [-switch-beats N] prog.mf [prog2.mf ...]
 //
@@ -14,10 +14,15 @@
 // stall latency the time-sharing hid. A single file with -contexts K runs
 // K copies of that program.
 //
-// The execution tier is -checked (per-beat dynamic resource checking, the
-// default), -fast (statically certified, resource/race checks skipped), or
-// -fast=safe (fast plus guard-free execution of every memory and divide
-// site the value-range safety analysis proves can never fault).
+// The execution tier is -tier=checked (per-beat dynamic resource checking,
+// the default), -tier=fast (statically certified, resource/race checks
+// skipped), -tier=safe (fast plus guard-free execution of every memory and
+// divide site the value-range safety analysis proves can never fault), or
+// -tier=native (the safe grade with the image translated once into
+// closure-threaded code — no per-slot dispatch or operand re-decode). All
+// tiers produce bit-identical results; only speed and how much dynamic
+// checking remains differ. The deprecated -fast and -fast=safe spellings
+// are aliases for -tier=fast and -tier=safe.
 //
 // With -snapshot-at N the run pauses at beat N and serializes the complete
 // machine-context state to -snapshot-file; a later invocation with the same
@@ -52,8 +57,9 @@ func main() {
 	timePasses := flag.Bool("time-passes", false, "print per-pass compile timing to stderr")
 	jobs := flag.Int("j", 0, "backend worker pool size (0 = one per CPU, 1 = sequential)")
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "beat budget before a runaway program is killed")
+	tierName := flag.String("tier", "", "execution tier: checked (default), fast, safe, or native")
 	var fast tierFlag
-	flag.Var(&fast, "fast", "certify the image statically and skip dynamic resource checks; -fast=safe also drops the guards at statically proven memory/divide sites")
+	flag.Var(&fast, "fast", "deprecated: -fast is -tier=fast, -fast=safe is -tier=safe")
 	checked := flag.Bool("checked", true, "run with per-beat dynamic resource checking (the default)")
 	snapshotAt := flag.Int64("snapshot-at", 0, "pause at this beat and serialize the context to -snapshot-file")
 	snapshotFile := flag.String("snapshot-file", "tracesim.snap", "where -snapshot-at writes the checkpoint")
@@ -62,8 +68,21 @@ func main() {
 	quantum := flag.Int64("quantum", 0, "context-scheduler timeslice in beats (0 = default)")
 	switchBeats := flag.Int64("switch-beats", 0, "wall-clock beats charged per context rotation")
 	flag.Parse()
-	if fast.fast && isFlagSet("checked") && *checked {
-		fmt.Fprintln(os.Stderr, "tracesim: -fast and -checked are mutually exclusive")
+	reqTier, err := vliw.ParseTier(*tierName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(2)
+	}
+	if fast.fast {
+		fmt.Fprintln(os.Stderr, "tracesim: -fast is deprecated; use -tier=fast (or -tier=safe for -fast=safe)")
+	}
+	tier, err := vliw.ResolveTier(reqTier, fast.fast, fast.safe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(2)
+	}
+	if tier != vliw.TierChecked && isFlagSet("checked") && *checked {
+		fmt.Fprintln(os.Stderr, "tracesim: -tier/-fast and -checked are mutually exclusive")
 		os.Exit(2)
 	}
 	if flag.NArg() < 1 {
@@ -118,7 +137,7 @@ func main() {
 			Config: cfg, Opt: lvl, Profile: mode,
 			Verify: *verify, TimePasses: *timePasses, Parallelism: *jobs,
 		}, runManyFlags{
-			fast: fast.fast, safe: fast.safe, maxCycles: *maxCycles,
+			tier: tier, maxCycles: *maxCycles,
 			quantum: *quantum, switchBeats: *switchBeats,
 		})
 		return
@@ -128,20 +147,31 @@ func main() {
 	if *maxCycles > 0 {
 		m.CycleLimit = *maxCycles
 	}
-	if fast.safe {
+	switch tier {
+	case vliw.TierNative:
 		cert, err := art.CertifySafe()
 		if err != nil {
-			fatal(fmt.Errorf("-fast=safe: %w", err))
+			fatal(fmt.Errorf("-tier=native: %w", err))
+		}
+		if err := m.UseNativeCertificate(cert); err != nil {
+			fatal(err)
+		}
+		proven, total := cert.ProvenSites()
+		fmt.Fprintf(os.Stderr, "tracesim: native tier: %d/%d guarded sites proven, image translated to closure code\n", proven, total)
+	case vliw.TierSafe:
+		cert, err := art.CertifySafe()
+		if err != nil {
+			fatal(fmt.Errorf("-tier=safe: %w", err))
 		}
 		if err := m.UseSafeCertificate(cert); err != nil {
 			fatal(err)
 		}
 		proven, total := cert.ProvenSites()
 		fmt.Fprintf(os.Stderr, "tracesim: safe tier: %d/%d guarded sites proven, guards deleted\n", proven, total)
-	} else if fast.fast {
+	case vliw.TierFast:
 		cert, err := art.Certificate()
 		if err != nil {
-			fatal(fmt.Errorf("-fast: %w", err))
+			fatal(fmt.Errorf("-tier=fast: %w", err))
 		}
 		if err := m.UseCertificate(cert); err != nil {
 			fatal(err)
@@ -229,8 +259,7 @@ func main() {
 
 // runManyFlags carries the time-sharing knobs into runContexts.
 type runManyFlags struct {
-	fast        bool
-	safe        bool
+	tier        vliw.Tier
 	maxCycles   int64
 	quantum     int64
 	switchBeats int64
@@ -276,7 +305,7 @@ func runContexts(ctx context.Context, first *core.Artifact, k int, copts core.Op
 		m.CycleLimit = rf.maxCycles
 	}
 	rs, sched, err := core.RunManyOn(ctx, m, arts, core.RunManyOptions{
-		Fast: rf.fast, Safe: rf.safe, Quantum: rf.quantum, SwitchBeats: rf.switchBeats,
+		Tier: rf.tier, Quantum: rf.quantum, SwitchBeats: rf.switchBeats,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -334,9 +363,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// tierFlag is the -fast flag's value: a boolean flag (a bare -fast arms the
-// certified fast path) that also accepts -fast=safe to select the guard-free
-// safe tier, which implies fast.
+// tierFlag is the deprecated -fast flag's value: a boolean flag (a bare
+// -fast arms the certified fast path) that also accepts -fast=safe to
+// select the guard-free safe tier, which implies fast. New invocations
+// should use -tier instead.
 type tierFlag struct {
 	fast bool
 	safe bool

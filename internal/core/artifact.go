@@ -166,16 +166,21 @@ func (a *Artifact) Machine() *vliw.Machine { return vliw.New(a.res.Image) }
 
 // RunOptions configures one execution of an artifact.
 type RunOptions struct {
-	// Fast selects the certified fast path: the artifact's cached
-	// Certificate (minted on first use) authorizes the machine to skip its
-	// per-beat dynamic resource and write-race checks. Results are
-	// identical to the checked mode; only the checking mode differs.
+	// Tier selects the execution tier: checked (the zero value), fast,
+	// safe, or native. Each tier reuses the artifact's cached certificate
+	// of the matching grade (Certificate for fast, CertifySafe for safe and
+	// native), minted on first use. Results — exit, output, and every Stats
+	// counter — are bit-identical across tiers.
+	Tier vliw.Tier
+	// Fast selects the certified fast path.
+	//
+	// Deprecated: set Tier to vliw.TierFast. When Tier is set, Fast may
+	// only name the same or a weaker tier; a stronger boolean conflicts
+	// (*vliw.ErrTierConflict).
 	Fast bool
-	// Safe selects the safe tier, the strongest grade: everything Fast
-	// skips, plus guard-free execution of every load/store/divide site the
-	// artifact's cached SafeCertificate (CertifySafe, minted on first use)
-	// proves can never fault. Unproven sites keep their guards. Results are
-	// identical to the checked and fast modes. Safe implies Fast.
+	// Safe selects the safe tier (guard-free proven sites; implies Fast).
+	//
+	// Deprecated: set Tier to vliw.TierSafe. Conflict rules as for Fast.
 	Safe bool
 	// MaxCycles overrides the machine's beat budget (0 keeps the default).
 	MaxCycles int64
@@ -198,9 +203,15 @@ type ExitResult struct {
 	Exit   int32
 	Output string
 	Stats  vliw.Stats
-	// Fast records whether the run took the certified fast path.
+	// Tier records the execution tier the run actually took.
+	Tier vliw.Tier
+	// Fast records whether the run took at least the certified fast path.
+	//
+	// Deprecated: compare Tier instead; Fast is Tier >= vliw.TierFast.
 	Fast bool
-	// Safe records whether the run took the guard-free safe tier.
+	// Safe records whether the run took at least the guard-free safe tier.
+	//
+	// Deprecated: compare Tier instead; Safe is Tier >= vliw.TierSafe.
 	Safe bool
 	// Paused reports the run checkpointed at RunOptions.SnapshotAt instead
 	// of completing; Exit is meaningless and Output/Stats are the partial
@@ -258,7 +269,20 @@ func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOption
 	if o.SnapshotAt > 0 {
 		m.StopBeat = o.SnapshotAt
 	}
-	if o.Safe {
+	tier, err := vliw.ResolveTier(o.Tier, o.Fast, o.Safe)
+	if err != nil {
+		return ExitResult{}, err
+	}
+	switch tier {
+	case vliw.TierNative:
+		cert, err := a.CertifySafe()
+		if err != nil {
+			return ExitResult{}, fmt.Errorf("native tier: %w", err)
+		}
+		if err := m.UseNativeCertificate(cert); err != nil {
+			return ExitResult{}, err
+		}
+	case vliw.TierSafe:
 		cert, err := a.CertifySafe()
 		if err != nil {
 			return ExitResult{}, fmt.Errorf("safe tier: %w", err)
@@ -266,7 +290,7 @@ func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOption
 		if err := m.UseSafeCertificate(cert); err != nil {
 			return ExitResult{}, err
 		}
-	} else if o.Fast {
+	case vliw.TierFast:
 		cert, err := a.Certificate()
 		if err != nil {
 			return ExitResult{}, fmt.Errorf("fast path: %w", err)
@@ -276,7 +300,8 @@ func (a *Artifact) runPrepared(ctx context.Context, m *vliw.Machine, o RunOption
 		}
 	}
 	v, out, err := m.RunContext(ctx)
-	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Fast: m.Fast(), Safe: m.Safe()}
+	got := m.Tier()
+	res := ExitResult{Exit: v, Output: out, Stats: m.Stats, Tier: got, Fast: got >= vliw.TierFast, Safe: got >= vliw.TierSafe}
 	var stop *vliw.ErrStopped
 	if errors.As(err, &stop) {
 		snap, serr := m.Contexts()[0].Snapshot()

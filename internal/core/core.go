@@ -300,6 +300,23 @@ func RunSafe(res *Result) (int32, string, *vliw.Stats, error) {
 	return v, out, &m.Stats, err
 }
 
+// RunNative executes the compiled image on the native tier: the safe
+// tier's certificate grade, with the per-slot interpreter replaced by the
+// image's closure-threaded translation. Results are identical to Run,
+// RunFast, and RunSafe.
+func RunNative(res *Result) (int32, string, *vliw.Stats, error) {
+	cert, err := CertifySafe(res)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	m := vliw.New(res.Image)
+	if err := m.UseNativeCertificate(cert); err != nil {
+		return 0, "", nil, err
+	}
+	v, out, err := m.Run()
+	return v, out, &m.Stats, err
+}
+
 // RunSource is the one-call convenience: compile and run, returning the
 // machine too for stats inspection.
 func RunSource(src string, opts Options) (int32, string, *vliw.Machine, error) {

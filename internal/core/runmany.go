@@ -12,14 +12,19 @@ import (
 // RunManyOptions configures one time-shared execution of several artifacts
 // on a single machine's hardware contexts.
 type RunManyOptions struct {
-	// Fast puts every context whose artifact certifies onto the certified
-	// fast path. Unlike RunOptions.Fast this is all-or-nothing per call:
-	// if any artifact in the batch fails to certify, RunMany errors rather
-	// than silently mixing checked and fast tenants.
+	// Tier puts every context onto the named execution tier: checked (the
+	// zero value), fast, safe, or native. All-or-nothing per call: if any
+	// artifact in the batch fails to certify at the requested grade,
+	// RunMany errors rather than silently mixing tiers across tenants.
+	Tier vliw.Tier
+	// Fast puts every context onto the certified fast path.
+	//
+	// Deprecated: set Tier to vliw.TierFast. When Tier is set, a boolean
+	// implying a stronger tier conflicts (*vliw.ErrTierConflict).
 	Fast bool
-	// Safe puts every context onto the guard-free safe tier (everything
-	// Fast skips, plus guard-free execution of statically proven sites; see
-	// RunOptions.Safe). All-or-nothing like Fast, and it implies Fast.
+	// Safe puts every context onto the guard-free safe tier.
+	//
+	// Deprecated: set Tier to vliw.TierSafe. Conflict rules as for Fast.
 	Safe bool
 	// MaxCycles overrides the per-context beat budget (0 keeps the
 	// default). A context exceeding it retires with *vliw.ErrCycleLimit in
@@ -51,9 +56,13 @@ type ManyResult struct {
 	Exit   int32
 	Output string
 	Stats  vliw.Stats
-	Fast   bool
-	Safe   bool
-	Err    error
+	// Tier records the execution tier this context actually ran on.
+	Tier vliw.Tier
+	// Fast reports Tier >= vliw.TierFast. Deprecated: compare Tier.
+	Fast bool
+	// Safe reports Tier >= vliw.TierSafe. Deprecated: compare Tier.
+	Safe bool
+	Err  error
 	// Snapshot is the tenant's resume point, present only under
 	// RunManyOptions.SnapshotOnInterrupt for tenants that were preempted
 	// (batch canceled) or cycle-limited rather than finished.
@@ -108,33 +117,41 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	if o.SwitchBeats > 0 {
 		m.SwitchBeats = o.SwitchBeats
 	}
-	if o.Safe {
+	tier, err := vliw.ResolveTier(o.Tier, o.Fast, o.Safe)
+	if err != nil {
+		return nil, vliw.SchedStats{}, err
+	}
+	if tier != vliw.TierChecked {
 		certified := make(map[*isa.Image]bool, len(arts))
 		for i, a := range arts {
 			if certified[a.Image()] {
 				continue
 			}
-			cert, err := a.CertifySafe()
-			if err != nil {
-				return nil, vliw.SchedStats{}, fmt.Errorf("safe tier (context %d): %w", i, err)
-			}
-			if err := m.UseSafeCertificate(cert); err != nil {
-				return nil, vliw.SchedStats{}, err
-			}
-			certified[a.Image()] = true
-		}
-	} else if o.Fast {
-		certified := make(map[*isa.Image]bool, len(arts))
-		for i, a := range arts {
-			if certified[a.Image()] {
-				continue
-			}
-			cert, err := a.Certificate()
-			if err != nil {
-				return nil, vliw.SchedStats{}, fmt.Errorf("fast path (context %d): %w", i, err)
-			}
-			if err := m.UseCertificate(cert); err != nil {
-				return nil, vliw.SchedStats{}, err
+			switch tier {
+			case vliw.TierNative:
+				cert, err := a.CertifySafe()
+				if err != nil {
+					return nil, vliw.SchedStats{}, fmt.Errorf("native tier (context %d): %w", i, err)
+				}
+				if err := m.UseNativeCertificate(cert); err != nil {
+					return nil, vliw.SchedStats{}, err
+				}
+			case vliw.TierSafe:
+				cert, err := a.CertifySafe()
+				if err != nil {
+					return nil, vliw.SchedStats{}, fmt.Errorf("safe tier (context %d): %w", i, err)
+				}
+				if err := m.UseSafeCertificate(cert); err != nil {
+					return nil, vliw.SchedStats{}, err
+				}
+			case vliw.TierFast:
+				cert, err := a.Certificate()
+				if err != nil {
+					return nil, vliw.SchedStats{}, fmt.Errorf("fast path (context %d): %w", i, err)
+				}
+				if err := m.UseCertificate(cert); err != nil {
+					return nil, vliw.SchedStats{}, err
+				}
 			}
 			certified[a.Image()] = true
 		}
@@ -146,7 +163,8 @@ func RunManyOn(ctx context.Context, m *vliw.Machine, arts []*Artifact, o RunMany
 	ctxs := m.Contexts()
 	rs := make([]ManyResult, len(crs))
 	for i, cr := range crs {
-		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Fast: ctxs[i].Fast(), Safe: ctxs[i].Safe(), Err: cr.Err}
+		ct := ctxs[i].Tier()
+		rs[i] = ManyResult{Exit: cr.Exit, Output: cr.Output, Stats: cr.Stats, Tier: ct, Fast: ct >= vliw.TierFast, Safe: ct >= vliw.TierSafe, Err: cr.Err}
 		if !o.SnapshotOnInterrupt {
 			continue
 		}

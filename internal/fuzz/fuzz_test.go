@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/multiflow-repro/trace/internal/lang"
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 // TestGenDeterministic: the generator is a pure function of its seed — the
@@ -46,16 +47,17 @@ func TestOracleCleanOnSeeds(t *testing.T) {
 	}
 }
 
-// TestTierMatrixCleanOnSeeds runs the three-way tier oracle (checked, fast,
-// safe) over a seed range: every image that runs must produce identical
-// exit, output, fault, and Stats on all three tiers. This is the seed-level
-// smoke of the `tracefuzz -safe` campaign in scripts/check.sh.
+// TestTierMatrixCleanOnSeeds runs the four-way tier oracle (checked, fast,
+// safe, native) over a seed range: every image that runs must produce
+// identical exit, output, fault, and Stats on all four tiers. This is the
+// seed-level smoke of the `tracefuzz -tier=native` campaign in
+// scripts/check.sh.
 func TestTierMatrixCleanOnSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full oracle is slow")
 	}
 	for seed := int64(1); seed <= 8; seed++ {
-		if err := CheckSeed(context.Background(), seed, Options{Safe: true}); err != nil {
+		if err := CheckSeed(context.Background(), seed, Options{Tier: vliw.TierNative}); err != nil {
 			t.Errorf("seed %d: %v\n--- program ---\n%s", seed, err, Gen(seed))
 		}
 	}

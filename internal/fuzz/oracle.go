@@ -44,22 +44,29 @@ type Options struct {
 	RefSteps int64
 	// MaxCycles bounds each VLIW run (default scales with the reference).
 	MaxCycles int64
-	// Fast runs each image on the certified fast path: the lint stage's
-	// clean report is minted into a schedcheck.Certificate and the machine
-	// skips its dynamic resource/race checks. The default (checked) mode is
-	// the stronger oracle — it cross-checks the static verifier against the
-	// dynamic one — so Fast is for throughput-oriented campaigns where the
-	// lint stage alone carries the legality burden.
+	// Tier selects the oracle's execution-tier regime. TierChecked (the
+	// zero value) runs the checked tier only — the strongest single-tier
+	// oracle, cross-checking the static verifier against the dynamic one.
+	// TierFast runs each image on the certified fast path instead, for
+	// throughput-oriented campaigns where the lint stage alone carries the
+	// legality burden. TierSafe and TierNative upgrade the oracle to the
+	// full four-way tier matrix: every image that runs also executes on the
+	// fast path, the guard-free safe tier, and the closure-threaded native
+	// tier, and all four runs must agree on the exit value, the output, the
+	// fault, and every Stats counter. The timeshare and snapshot stages run
+	// on the named tier itself, so -tier=native composes certificate-armed
+	// translation with context time-sharing and checkpoint/restore.
+	Tier vliw.Tier
+	// Fast is the deprecated spelling of Tier: vliw.TierFast.
 	Fast bool
-	// Safe upgrades the oracle to the three-way tier matrix: every image
-	// that runs also executes on the certified fast path and the guard-free
-	// safe tier, and the three runs must agree on the exit value, the
-	// output, the fault, and every Stats counter. This cross-checks the
-	// safety analysis against the dynamic guards it deletes: a site proven
-	// safe that would have trapped, or a guard-free variant that counts a
-	// beat differently, diverges here. Implies the checked tier stays the
-	// reference against the scalar baseline.
+	// Safe is the deprecated spelling of Tier: vliw.TierSafe (the tier
+	// matrix — now four-way, including the native tier).
 	Safe bool
+}
+
+// resolve folds the deprecated booleans into the Tier field.
+func (o Options) resolve() (vliw.Tier, error) {
+	return vliw.ResolveTier(o.Tier, o.Fast, o.Safe)
 }
 
 // machinePool recycles simulator machines across oracle runs. A machine
@@ -68,75 +75,58 @@ type Options struct {
 // profile, so runs borrow a machine and Reset it onto each image instead.
 var machinePool = sync.Pool{New: func() any { return new(vliw.Machine) }}
 
-// runImage executes one linked image on a pooled machine. When fast is set,
-// rep (the clean lint report for exactly this image) is minted into a
-// certificate authorizing the machine's fast path; a report that cannot
-// certify after a clean lint is itself a schedcheck bug and is returned as
-// the run error so the oracle flags it.
-func runImage(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, fast bool) (int32, string, error) {
-	m := machinePool.Get().(*vliw.Machine)
-	defer machinePool.Put(m)
-	m.Reset(img)
-	m.CycleLimit = maxCycles
-	if fast {
-		cert, err := rep.Certify()
-		if err != nil {
-			return 0, "", fmt.Errorf("lint passed but certification failed: %w", err)
-		}
-		if err := m.UseCertificate(cert); err != nil {
-			return 0, "", err
-		}
+// armTier puts a pooled machine onto the requested execution tier for img,
+// minting the needed certificate grade from the clean lint report (rep must
+// be the clean report for exactly this image; one that cannot certify after
+// a clean lint is itself a schedcheck bug and is returned so the oracle
+// flags it). On a fuzz input nothing may be provable at the safety grade,
+// which is fine: an empty bitmask still exercises the safe and native
+// tiers' arming and containment machinery.
+func armTier(m *vliw.Machine, img *isa.Image, rep *schedcheck.Report, tier vliw.Tier) error {
+	if tier == vliw.TierChecked {
+		return nil
 	}
-	return m.RunContext(ctx)
+	cert, err := rep.Certify()
+	if err != nil {
+		return fmt.Errorf("lint passed but certification failed: %w", err)
+	}
+	if tier == vliw.TierFast {
+		return m.UseCertificate(cert)
+	}
+	scert, err := safecheck.Analyze(img, safecheck.Options{}).Certify(cert)
+	if err != nil {
+		return fmt.Errorf("resource certificate minted but safety grading failed: %w", err)
+	}
+	if tier == vliw.TierSafe {
+		return m.UseSafeCertificate(scert)
+	}
+	return m.UseNativeCertificate(scert)
 }
 
 // runTier executes one linked image on one execution tier and returns the
-// result plus a copy of the machine's Stats. The safe tier mints the graded
-// certificate from the clean lint report — on a fuzz input nothing may be
-// provable, which is fine: an empty bitmask still exercises the safe tier's
-// arming and containment machinery.
-func runTier(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, tier string) (int32, string, vliw.Stats, error) {
+// result plus a copy of the machine's Stats.
+func runTier(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, tier vliw.Tier) (int32, string, vliw.Stats, error) {
 	m := machinePool.Get().(*vliw.Machine)
 	defer machinePool.Put(m)
 	m.Reset(img)
 	m.CycleLimit = maxCycles
-	switch tier {
-	case "checked":
-	case "fast":
-		cert, err := rep.Certify()
-		if err != nil {
-			return 0, "", vliw.Stats{}, fmt.Errorf("lint passed but certification failed: %w", err)
-		}
-		if err := m.UseCertificate(cert); err != nil {
-			return 0, "", vliw.Stats{}, err
-		}
-	case "safe":
-		cert, err := rep.Certify()
-		if err != nil {
-			return 0, "", vliw.Stats{}, fmt.Errorf("lint passed but certification failed: %w", err)
-		}
-		scert, err := safecheck.Analyze(img, safecheck.Options{}).Certify(cert)
-		if err != nil {
-			return 0, "", vliw.Stats{}, fmt.Errorf("resource certificate minted but safety grading failed: %w", err)
-		}
-		if err := m.UseSafeCertificate(scert); err != nil {
-			return 0, "", vliw.Stats{}, err
-		}
+	if err := armTier(m, img, rep, tier); err != nil {
+		return 0, "", vliw.Stats{}, err
 	}
 	v, out, err := m.RunContext(ctx)
 	return v, out, m.Stats, err
 }
 
-// checkTiers runs the image on all three execution tiers and requires
-// byte-identical results: same exit, same output, same fault, and the same
-// value in every Stats counter. It returns the checked tier's result for
-// the caller's reference comparison; the *Divergence is non-nil when the
-// tiers disagree among themselves.
+// checkTiers runs the image on all four execution tiers — checked, fast,
+// safe, and native — and requires byte-identical results: same exit, same
+// output, same fault, and the same value in every Stats counter. It returns
+// the checked tier's result for the caller's reference comparison; the
+// *Divergence is non-nil when the tiers disagree among themselves.
 func checkTiers(ctx context.Context, img *isa.Image, rep *schedcheck.Report, maxCycles int64, config, src string) (int32, string, error, *Divergence) {
-	cv, cout, cst, cerr := runTier(ctx, img, rep, maxCycles, "checked")
-	for _, tier := range []string{"fast", "safe"} {
+	cv, cout, cst, cerr := runTier(ctx, img, rep, maxCycles, vliw.TierChecked)
+	for _, tier := range []vliw.Tier{vliw.TierFast, vliw.TierSafe, vliw.TierNative} {
 		tv, tout, tst, terr := runTier(ctx, img, rep, maxCycles, tier)
-		tag := config + "/" + tier
+		tag := config + "/" + tier.String()
 		if (cerr == nil) != (terr == nil) {
 			return cv, cout, cerr, &Divergence{Stage: "tier", Config: tag,
 				Detail: fmt.Sprintf("trap disagreement: checked err=%v, %s err=%v", cerr, tier, terr), Src: src}
@@ -187,6 +177,10 @@ func Check(ctx context.Context, src string, o Options) error {
 	if o.RefSteps == 0 {
 		o.RefSteps = 50_000_000
 	}
+	tier, terr := o.resolve()
+	if terr != nil {
+		return terr
+	}
 
 	// Reference: the IR interpreter underneath the scalar baseline is the
 	// semantic ground truth; it shares no code with the scheduler or the
@@ -229,13 +223,13 @@ func Check(ctx context.Context, src string, o Options) error {
 		}
 		var gotV int32
 		var gotOut string
-		if o.Safe {
+		if tier >= vliw.TierSafe {
 			gotV, gotOut, err, d = checkTiers(ctx, res.Image, rep, maxCycles, m.name, src)
 			if d != nil {
 				return d
 			}
 		} else {
-			gotV, gotOut, err = runImage(ctx, res.Image, rep, maxCycles, o.Fast)
+			gotV, gotOut, _, err = runTier(ctx, res.Image, rep, maxCycles, tier)
 		}
 		if err != nil {
 			return &Divergence{Stage: "trap", Config: m.name,
@@ -254,7 +248,7 @@ func Check(ctx context.Context, src string, o Options) error {
 	// Full optimization on the widest machine, sequential and parallel
 	// backends: run the sequential image against the reference, then require
 	// the 4-worker build to be byte-identical.
-	return checkO2(ctx, src, wantV, wantOut, maxCycles, o)
+	return checkO2(ctx, src, wantV, wantOut, maxCycles, tier)
 }
 
 // checkArtifact statically verifies every artifact a successful compile
@@ -263,8 +257,8 @@ func Check(ctx context.Context, src string, o Options) error {
 // same image, so a schedule that lints clean but traps dynamically (or vice
 // versa) surfaces as a pair of contradictory findings — itself a bug in one
 // of the two implementations of the legality rules. On success it returns
-// the clean report, which Options.Fast mints into a certificate instead of
-// re-running the analysis.
+// the clean report, which the certified tiers mint into a certificate
+// instead of re-running the analysis.
 func checkArtifact(res *core.Result, config, src string) (*schedcheck.Report, *Divergence) {
 	if err := res.OptIR.Validate(); err != nil {
 		return nil, &Divergence{Stage: "ir-validate", Config: config,
@@ -292,7 +286,7 @@ func isCapacityReject(err error) bool {
 // checkO2 compiles at full optimization for Trace 28 with a sequential and a
 // 4-worker backend, checks the sequential image against the reference result,
 // and requires the parallel build to be byte-identical to the sequential one.
-func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCycles int64, o Options) error {
+func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCycles int64, tier vliw.Tier) error {
 	opts := func(jobs int) core.Options {
 		return core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: jobs}
 	}
@@ -311,13 +305,13 @@ func checkO2(ctx context.Context, src string, wantV int32, wantOut string, maxCy
 	var gotV int32
 	var gotOut string
 	var rerr error
-	if o.Safe {
+	if tier >= vliw.TierSafe {
 		gotV, gotOut, rerr, d = checkTiers(ctx, seq.Image, rep, maxCycles, "trace28/O2/j1", src)
 		if d != nil {
 			return d
 		}
 	} else {
-		gotV, gotOut, rerr = runImage(ctx, seq.Image, rep, maxCycles, o.Fast)
+		gotV, gotOut, _, rerr = runTier(ctx, seq.Image, rep, maxCycles, tier)
 	}
 	if rerr != nil {
 		return &Divergence{Stage: "trap", Config: "trace28/O2/j1",

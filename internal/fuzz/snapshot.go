@@ -21,14 +21,21 @@ const snapshotSplits = 3
 // CheckSnapshot is the checkpoint/restore oracle stage for one program: the
 // program compiles at full optimization, runs uninterrupted to establish the
 // reference, then re-runs split at random beats — pause, serialize, restore
-// onto a different pooled machine, continue — in both the checked and (when
-// the image certifies) the certified-fast modes. The stitched run must match
-// the reference bit-for-bit: exit, output, and every performance counter.
-// A corrupted snapshot must be refused by Restore, never half-applied.
+// onto a different pooled machine, continue — in the checked mode, the
+// certified-fast mode (when the image certifies), and — when Options asks
+// for the safe or native tier and the image certifies at the safety grade —
+// that tier too, proving the snapshot wire format is tier-independent. The
+// stitched run must match the reference bit-for-bit: exit, output, and
+// every performance counter. A corrupted snapshot must be refused by
+// Restore, never half-applied.
 func CheckSnapshot(ctx context.Context, src string, seed int64, o Options) error {
 	maxCycles := o.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
+	}
+	tier, err := o.resolve()
+	if err != nil {
+		return err
 	}
 	copts := core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: 1}
 	art, err := core.Build(ctx, src, copts)
@@ -52,20 +59,25 @@ func CheckSnapshot(ctx context.Context, src string, seed int64, o Options) error
 		return ErrSkip // nowhere to split
 	}
 
-	modes := []bool{false}
+	modes := []vliw.Tier{vliw.TierChecked}
 	if _, err := art.Certificate(); err == nil {
-		modes = append(modes, true)
+		modes = append(modes, vliw.TierFast)
+	}
+	if tier >= vliw.TierSafe {
+		if _, err := art.CertifySafe(); err == nil {
+			modes = append(modes, tier)
+		}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var snap []byte // one surviving snapshot, reused for the corruption probe
-	for _, fast := range modes {
+	for _, mode := range modes {
 		for s := 0; s < snapshotSplits; s++ {
 			at := 1 + rng.Int63n(ref.Stats.Beats-1)
-			cfg := fmt.Sprintf("trace28/O2/fast=%t split@%d", fast, at)
+			cfg := fmt.Sprintf("trace28/O2/tier=%s split@%d", mode, at)
 
 			m := machinePool.Get().(*vliw.Machine)
 			first, err := art.RunOn(ctx, m, core.RunOptions{
-				Fast: fast, MaxCycles: maxCycles, SnapshotAt: at})
+				Tier: mode, MaxCycles: maxCycles, SnapshotAt: at})
 			machinePool.Put(m)
 			if err != nil {
 				if ctx.Err() != nil {
@@ -82,7 +94,7 @@ func CheckSnapshot(ctx context.Context, src string, seed int64, o Options) error
 				// the snapshot must carry everything, not lean on leftovers.
 				m := machinePool.Get().(*vliw.Machine)
 				final, err = art.RunFromOn(ctx, m, first.Snapshot, core.RunOptions{
-					Fast: fast, MaxCycles: maxCycles})
+					Tier: mode, MaxCycles: maxCycles})
 				machinePool.Put(m)
 				if err != nil {
 					if ctx.Err() != nil {

@@ -35,13 +35,20 @@ type soloResult struct {
 // references, then run again time-shared K=4 on shared machines. Any
 // difference in a program's exit, output, or performance counters between
 // its solo and time-shared execution is a context-scheduler bug — the
-// hardware-context model promises bit-exact solo equivalence. Inputs that
+// hardware-context model promises bit-exact solo equivalence. Both the solo
+// references and the shared machine run on the tier Options resolves to, so
+// -tier=native exercises the closure-threaded translator under round-robin
+// preemption. Inputs that
 // fail to compile or whose solo run errs are skipped (they are the other
 // stages' business); ErrSkip reports that no input survived to compare.
 func CheckTimeshare(ctx context.Context, srcs []string, o Options) error {
 	maxCycles := o.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
+	}
+	tier, err := o.resolve()
+	if err != nil {
+		return err
 	}
 	copts := core.Options{Config: mach.Trace28(), Opt: opt.Default(), Parallelism: 1}
 
@@ -65,16 +72,9 @@ func CheckTimeshare(ctx context.Context, srcs []string, o Options) error {
 		m := machinePool.Get().(*vliw.Machine)
 		m.Reset(res.Image)
 		m.CycleLimit = maxCycles
-		if o.Fast {
-			cert, err := rep.Certify()
-			if err != nil {
-				machinePool.Put(m)
-				return fmt.Errorf("lint passed but certification failed: %w", err)
-			}
-			if err := m.UseCertificate(cert); err != nil {
-				machinePool.Put(m)
-				return err
-			}
+		if err := armTier(m, res.Image, rep, tier); err != nil {
+			machinePool.Put(m)
+			return err
 		}
 		v, out, err := m.RunContext(ctx)
 		st := m.Stats
@@ -107,17 +107,10 @@ func CheckTimeshare(ctx context.Context, srcs []string, o Options) error {
 			return err
 		}
 		m.CycleLimit = maxCycles
-		if o.Fast {
-			for _, s := range batch {
-				cert, err := s.rep.Certify()
-				if err != nil {
-					machinePool.Put(m)
-					return fmt.Errorf("lint passed but certification failed: %w", err)
-				}
-				if err := m.UseCertificate(cert); err != nil {
-					machinePool.Put(m)
-					return err
-				}
+		for _, s := range batch {
+			if err := armTier(m, s.img, s.rep, tier); err != nil {
+				machinePool.Put(m)
+				return err
 			}
 		}
 		rs, err := m.RunMany(ctx)

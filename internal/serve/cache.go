@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 // Key addresses a compilation by content: SHA-256 over the canonicalized
@@ -102,11 +103,14 @@ func artifactCost(key string, art *core.Artifact) int64 {
 }
 
 // runKey addresses a deterministic execution: the artifact key plus every
-// semantic run option. The simulator is a deterministic function of the
-// image (no wall clock, no randomness — performance counters included), so
-// one completed run answers every later identical request.
-func runKey(artKey string, fast, safe bool, maxCycles int64) string {
-	return fmt.Sprintf("%s/fast=%t/safe=%t/max=%d", artKey, fast, safe, maxCycles)
+// semantic run option — the resolved tier name, so each of the four tiers
+// memoizes separately (their results must be identical, but the key keeps
+// the caches honest instead of assuming it). The simulator is a
+// deterministic function of the image (no wall clock, no randomness —
+// performance counters included), so one completed run answers every later
+// identical request.
+func runKey(artKey string, tier vliw.Tier, maxCycles int64) string {
+	return fmt.Sprintf("%s/tier=%s/max=%d", artKey, tier, maxCycles)
 }
 
 // runCache memoizes completed run results, bounded by entry count (results

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 // histBuckets are the latency histogram bucket upper bounds. They are
@@ -90,13 +92,14 @@ type Metrics struct {
 	CompileErrors expvar.Int // requests rejected with a diagnostic (400)
 	// Machine pool.
 	MachinesInUse expvar.Int // machines currently executing a request
-	// Completed runs by the certificate grade that backed them (the
-	// simulator tier actually taken, cached results included): "none" ran
-	// fully checked, "resource" took the certified fast path, "safe" ran
-	// guard-free under a safety certificate.
-	RunsCertNone     expvar.Int
-	RunsCertResource expvar.Int
-	RunsCertSafe     expvar.Int
+	// Completed runs by the execution tier actually taken (cached results
+	// included): "checked" ran fully dynamically verified, "fast" took the
+	// certified fast path, "safe" ran guard-free under a safety
+	// certificate, "native" ran the closure-threaded translation.
+	RunsCertChecked expvar.Int
+	RunsCertFast    expvar.Int
+	RunsCertSafe    expvar.Int
+	RunsCertNative  expvar.Int
 	// Resume-snapshot store (deadline-paused runs awaiting /resume).
 	SnapshotsStored    expvar.Int // checkpoints issued (202 responses)
 	SnapshotsResumed   expvar.Int // checkpoints resumed to completion
@@ -119,17 +122,19 @@ type endpointMetrics struct {
 }
 
 // countRunTier buckets one completed run (solo or per-tenant) by the
-// certificate grade it executed under. The flags come from the result, not
-// the request: a safe request that fell back (it cannot today — tier
-// selection errors the run instead) would be counted at the tier it took.
-func (m *Metrics) countRunTier(fast, safe bool) {
-	switch {
-	case safe:
+// execution tier it took. The tier comes from the result, not the request:
+// a request that fell back (it cannot today — tier selection errors the run
+// instead) would be counted at the tier it took.
+func (m *Metrics) countRunTier(tier vliw.Tier) {
+	switch tier {
+	case vliw.TierNative:
+		m.RunsCertNative.Add(1)
+	case vliw.TierSafe:
 		m.RunsCertSafe.Add(1)
-	case fast:
-		m.RunsCertResource.Add(1)
+	case vliw.TierFast:
+		m.RunsCertFast.Add(1)
 	default:
-		m.RunsCertNone.Add(1)
+		m.RunsCertChecked.Add(1)
 	}
 }
 
@@ -162,9 +167,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"compile_errors":  m.CompileErrors.Value(),
 		"machines_in_use": m.MachinesInUse.Value(),
 		"cert_level": map[string]int64{
-			"none":     m.RunsCertNone.Value(),
-			"resource": m.RunsCertResource.Value(),
-			"safe":     m.RunsCertSafe.Value(),
+			"checked": m.RunsCertChecked.Value(),
+			"fast":    m.RunsCertFast.Value(),
+			"safe":    m.RunsCertSafe.Value(),
+			"native":  m.RunsCertNative.Value(),
 		},
 		"snapshots": map[string]any{
 			"stored":    m.SnapshotsStored.Value(),

@@ -103,6 +103,11 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeRunMany(w, r, &req) {
 		return
 	}
+	tier, err := vliw.ResolveTier(req.Run.Tier, req.Run.Fast, req.Run.Safe)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad_request", Msg: err.Error()})
+		return
+	}
 	release, ok := s.admitRequest(w, &s.metrics.RunMany)
 	if !ok {
 		return
@@ -131,7 +136,7 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 	defer cancelRun()
 	resp := RunManyResponse{Results: make([]RunManyResult, len(arts))}
 	ro := core.RunManyOptions{
-		Fast: req.Run.Fast, Safe: req.Run.Safe, MaxCycles: req.Run.MaxCycles,
+		Tier: tier, MaxCycles: req.Run.MaxCycles,
 		Quantum: req.Run.Quantum, SwitchBeats: req.Run.SwitchBeats,
 	}
 
@@ -142,14 +147,14 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, art *core.Artifact) {
 				defer wg.Done()
-				out, err := s.runArtifact(rctx, art, RunRequestOptions{
-					Fast: req.Run.Fast, Safe: req.Run.Safe, MaxCycles: req.Run.MaxCycles})
+				out, err := s.runArtifact(rctx, art, tier, req.Run.MaxCycles)
 				resp.Results[i] = RunManyResult{
 					Key: keys[i], CachedBuild: cachedBuild[i],
-					Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
+					Tier: out.Tier, Fast: out.Fast, Safe: out.Safe,
+					Exit: out.Exit, Output: out.Output,
 					Stats: wireStats(out.Stats),
 				}
-				s.metrics.countRunTier(out.Fast, out.Safe)
+				s.metrics.countRunTier(out.Tier)
 				if err != nil {
 					resp.Results[i].Error = err.Error()
 				}
@@ -178,10 +183,11 @@ func (s *Server) handleRunMany(w http.ResponseWriter, r *http.Request) {
 		for i, res := range rs {
 			resp.Results[i] = RunManyResult{
 				Key: keys[i], CachedBuild: cachedBuild[i],
-				Fast: res.Fast, Safe: res.Safe, Exit: res.Exit, Output: res.Output,
+				Tier: res.Tier, Fast: res.Fast, Safe: res.Safe,
+				Exit: res.Exit, Output: res.Output,
 				Stats: wireStats(res.Stats),
 			}
-			s.metrics.countRunTier(res.Fast, res.Safe)
+			s.metrics.countRunTier(res.Tier)
 			if res.Err != nil {
 				resp.Results[i].Error = res.Err.Error()
 			}

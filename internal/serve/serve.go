@@ -145,18 +145,31 @@ func (o Options) toCore(parallelism int) core.Options {
 
 // RunRequestOptions is the wire form of the execution options.
 type RunRequestOptions struct {
-	// Fast requests the certified fast path (the artifact must lint
-	// clean; its cached Certificate authorizes skipping dynamic checks).
+	// Tier requests an execution tier by name: "checked" (or omitted),
+	// "fast" (the certified fast path — the artifact must lint clean),
+	// "safe" (guard-free execution of every site the value-range analysis
+	// proves; requires the artifact's safety certificate), or "native"
+	// (the safety grade plus the closure-threaded translation of the
+	// image). Setting Tier alongside a boolean that implies a stronger
+	// tier is a bad_request.
+	Tier vliw.Tier `json:"tier,omitempty"`
+	// Fast requests the certified fast path.
+	//
+	// Deprecated: set Tier to "fast".
 	Fast bool `json:"fast,omitempty"`
-	// Safe requests the guard-free safe tier: everything Fast removes,
-	// plus deletion of the runtime guards at every site the value-range
-	// analysis proved in bounds. Requires the artifact's safety
-	// certificate (minted once, cached on the artifact) and implies Fast.
+	// Safe requests the guard-free safe tier.
+	//
+	// Deprecated: set Tier to "safe".
 	Safe bool `json:"safe,omitempty"`
 	// MaxCycles overrides the simulator's beat budget (0 = default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 	// NoCache bypasses the memoized run results for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// tier folds the deprecated booleans into the Tier field.
+func (o RunRequestOptions) tier() (vliw.Tier, error) {
+	return vliw.ResolveTier(o.Tier, o.Fast, o.Safe)
 }
 
 // CompileRequest is the body of POST /compile and POST /lint.
@@ -179,11 +192,17 @@ type RunManyProgram struct {
 
 // RunManyRunOptions is the wire form of the batch execution options.
 type RunManyRunOptions struct {
-	// Fast requests the certified fast path for every tenant; the batch
-	// fails if any program does not certify.
+	// Tier requests an execution tier by name for every tenant; the batch
+	// fails if any program does not certify at the requested grade
+	// (all-or-nothing — tiers are never silently mixed across tenants).
+	Tier vliw.Tier `json:"tier,omitempty"`
+	// Fast requests the certified fast path for every tenant.
+	//
+	// Deprecated: set Tier to "fast".
 	Fast bool `json:"fast,omitempty"`
-	// Safe requests the guard-free safe tier for every tenant
-	// (all-or-nothing, like Fast, and implies Fast).
+	// Safe requests the guard-free safe tier for every tenant.
+	//
+	// Deprecated: set Tier to "safe".
 	Safe bool `json:"safe,omitempty"`
 	// MaxCycles caps each tenant's beat budget (0 = default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
@@ -210,14 +229,18 @@ type RunManyRequest struct {
 // RunManyResult reports one tenant's execution. Error is per-tenant — a
 // trap or cycle-limit there does not fail the batch.
 type RunManyResult struct {
-	Key         string   `json:"key"`
-	CachedBuild bool     `json:"cached_build"`
-	Fast        bool     `json:"fast"`
-	Safe        bool     `json:"safe,omitempty"`
-	Exit        int32    `json:"exit"`
-	Output      string   `json:"output"`
-	Stats       RunStats `json:"stats"`
-	Error       string   `json:"error,omitempty"`
+	Key         string `json:"key"`
+	CachedBuild bool   `json:"cached_build"`
+	// Tier names the execution tier this tenant actually ran on.
+	Tier vliw.Tier `json:"tier"`
+	// Fast reports Tier is at least "fast". Deprecated: read Tier.
+	Fast bool `json:"fast"`
+	// Safe reports Tier is at least "safe". Deprecated: read Tier.
+	Safe   bool     `json:"safe,omitempty"`
+	Exit   int32    `json:"exit"`
+	Output string   `json:"output"`
+	Stats  RunStats `json:"stats"`
+	Error  string   `json:"error,omitempty"`
 }
 
 // SchedResponse is the wire form of the context scheduler's counters
@@ -273,9 +296,12 @@ type RunResponse struct {
 	Key          string `json:"key"`
 	CachedBuild  bool   `json:"cached_build"`
 	CachedResult bool   `json:"cached_result"`
-	Fast         bool   `json:"fast"`
-	// Safe reports the run executed on the guard-free safe tier under the
-	// artifact's safety certificate.
+	// Tier names the execution tier the run actually took: "checked",
+	// "fast", "safe", or "native".
+	Tier vliw.Tier `json:"tier"`
+	// Fast reports Tier is at least "fast". Deprecated: read Tier.
+	Fast bool `json:"fast"`
+	// Safe reports Tier is at least "safe". Deprecated: read Tier.
 	Safe   bool     `json:"safe,omitempty"`
 	Exit   int32    `json:"exit"`
 	Output string   `json:"output"`
@@ -528,6 +554,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req.Source, &req) {
 		return
 	}
+	tier, err := req.Run.tier()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad_request", Msg: err.Error()})
+		return
+	}
 	release, ok := s.admitRequest(w, &s.metrics.Run)
 	if !ok {
 		return
@@ -543,7 +574,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rkey := runKey(key, req.Run.Fast, req.Run.Safe, req.Run.MaxCycles)
+	rkey := runKey(key, tier, req.Run.MaxCycles)
 	var out core.ExitResult
 	cachedResult := false
 	if !req.Run.NoCache {
@@ -551,7 +582,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cachedResult {
 		rctx, cancelRun := context.WithTimeout(r.Context(), s.cfg.RunTimeout)
-		out, err = s.runArtifact(rctx, art, req.Run)
+		out, err = s.runArtifact(rctx, art, tier, req.Run.MaxCycles)
 		cancelRun()
 		if err != nil {
 			// A deadline-exceeded run with a captured snapshot is not a
@@ -568,10 +599,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.Run.Latency.observe(time.Since(start))
-	s.metrics.countRunTier(out.Fast, out.Safe)
+	s.metrics.countRunTier(out.Tier)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Key: key, CachedBuild: cachedBuild, CachedResult: cachedResult,
-		Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
+		Tier: out.Tier, Fast: out.Fast, Safe: out.Safe,
+		Exit: out.Exit, Output: out.Output,
 		Stats: wireStats(out.Stats),
 	})
 }
@@ -582,7 +614,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // incomplete) state, and the next Reset re-initializes everything. When
 // checkpointing is on, an interrupted run carries its resume snapshot in
 // the result alongside the error.
-func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, o RunRequestOptions) (core.ExitResult, error) {
+func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, tier vliw.Tier, maxCycles int64) (core.ExitResult, error) {
 	m := s.machines.Get().(*vliw.Machine)
 	s.metrics.MachinesInUse.Add(1)
 	defer func() {
@@ -590,7 +622,7 @@ func (s *Server) runArtifact(ctx context.Context, art *core.Artifact, o RunReque
 		s.machines.Put(m)
 	}()
 	return art.RunOn(ctx, m, core.RunOptions{
-		Fast: o.Fast, Safe: o.Safe, MaxCycles: o.MaxCycles,
+		Tier: tier, MaxCycles: maxCycles,
 		SnapshotOnInterrupt: s.snapshots != nil,
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/multiflow-repro/trace/internal/core"
+	"github.com/multiflow-repro/trace/internal/vliw"
 )
 
 // demoSrc is a small program every test compiles; distinct tests mutate a
@@ -275,8 +276,70 @@ func TestRunSafeTier(t *testing.T) {
 	if got := s.Metrics().RunsCertSafe.Value(); got != 2 {
 		t.Errorf("RunsCertSafe = %d, want 2", got)
 	}
-	if got := s.Metrics().RunsCertResource.Value(); got != 1 {
-		t.Errorf("RunsCertResource = %d, want 1", got)
+	if got := s.Metrics().RunsCertFast.Value(); got != 1 {
+		t.Errorf("RunsCertFast = %d, want 1", got)
+	}
+}
+
+// TestRunNativeTier: run.tier="native" selects the closure-threaded tier end
+// to end — the response names the tier, the memo keys native apart from
+// safe, a tier/boolean conflict is a structured bad_request, and /metrics
+// counts the run under cert_level.native.
+func TestRunNativeTier(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallelism: 1})
+
+	natReq := RunRequest{Source: guardedSrc, Run: RunRequestOptions{Tier: vliw.TierNative}}
+	resp, raw := post(t, hs.URL+"/run", natReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("native run: status %d: %s", resp.StatusCode, raw)
+	}
+	native := decode[RunResponse](t, raw)
+	if native.Tier != vliw.TierNative || !native.Safe || !native.Fast {
+		t.Fatalf("native run not on the native tier: %+v", native)
+	}
+
+	// The safe run of the same source must not be served from the native
+	// run's memo entry (distinct runKey) and must agree bit-for-bit.
+	resp, raw = post(t, hs.URL+"/run", RunRequest{Source: guardedSrc, Run: RunRequestOptions{Tier: vliw.TierSafe}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("safe run: status %d: %s", resp.StatusCode, raw)
+	}
+	safe := decode[RunResponse](t, raw)
+	if safe.CachedResult {
+		t.Error("safe run hit the native run's memo entry (runKey ignores the tier)")
+	}
+	if safe.Tier != vliw.TierSafe {
+		t.Errorf("safe run tier = %v", safe.Tier)
+	}
+	if native.Exit != safe.Exit || native.Output != safe.Output || native.Stats != safe.Stats {
+		t.Errorf("tiers disagree:\n native: %+v\n safe:   %+v", native, safe)
+	}
+
+	// A repeat native request is a memo hit and keeps its tier name.
+	resp, raw = post(t, hs.URL+"/run", natReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached native run: status %d: %s", resp.StatusCode, raw)
+	}
+	cached := decode[RunResponse](t, raw)
+	if !cached.CachedResult || cached.Tier != vliw.TierNative {
+		t.Errorf("cached native run lost its tier: %+v", cached)
+	}
+
+	// An unknown tier name and a tier/boolean conflict are both structured
+	// bad_requests, not runs.
+	resp, raw = post(t, hs.URL+"/run", map[string]any{
+		"source": guardedSrc, "run": map[string]any{"tier": "turbo"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown tier: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = post(t, hs.URL+"/run", RunRequest{Source: guardedSrc,
+		Run: RunRequestOptions{Tier: vliw.TierFast, Safe: true}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("tier conflict: status %d: %s", resp.StatusCode, raw)
+	}
+
+	if got := s.Metrics().RunsCertNative.Value(); got != 2 {
+		t.Errorf("RunsCertNative = %d, want 2", got)
 	}
 }
 
@@ -285,25 +348,27 @@ func TestRunSafeTier(t *testing.T) {
 func TestRunManySafeTier(t *testing.T) {
 	_, hs := newTestServer(t, Config{Parallelism: 1})
 
-	for _, tenancy := range []string{"contexts", "machines"} {
-		req := runManyReq(tenancy, true)
-		req.Run.Safe = true
-		resp, raw := post(t, hs.URL+"/runmany", req)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: status %d: %s", tenancy, resp.StatusCode, raw)
-		}
-		batch := decode[RunManyResponse](t, raw)
-		checked := decode[RunManyResponse](t, mustPostOK(t, hs.URL+"/runmany", runManyReq(tenancy, false)))
-		for i, r := range batch.Results {
-			if r.Error != "" {
-				t.Fatalf("%s tenant %d: %s", tenancy, i, r.Error)
+	for _, tier := range []vliw.Tier{vliw.TierSafe, vliw.TierNative} {
+		for _, tenancy := range []string{"contexts", "machines"} {
+			req := runManyReq(tenancy, false)
+			req.Run.Tier = tier
+			resp, raw := post(t, hs.URL+"/runmany", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s/%s: status %d: %s", tier, tenancy, resp.StatusCode, raw)
 			}
-			if !r.Safe || !r.Fast {
-				t.Errorf("%s tenant %d not on the safe tier: %+v", tenancy, i, r)
-			}
-			c := checked.Results[i]
-			if r.Exit != c.Exit || r.Output != c.Output || r.Stats != c.Stats {
-				t.Errorf("%s tenant %d: safe tier diverges from checked:\n safe:    %+v\n checked: %+v", tenancy, i, r, c)
+			batch := decode[RunManyResponse](t, raw)
+			checked := decode[RunManyResponse](t, mustPostOK(t, hs.URL+"/runmany", runManyReq(tenancy, false)))
+			for i, r := range batch.Results {
+				if r.Error != "" {
+					t.Fatalf("%s/%s tenant %d: %s", tier, tenancy, i, r.Error)
+				}
+				if r.Tier != tier || !r.Safe || !r.Fast {
+					t.Errorf("%s/%s tenant %d not on the requested tier: %+v", tier, tenancy, i, r)
+				}
+				c := checked.Results[i]
+				if r.Exit != c.Exit || r.Output != c.Output || r.Stats != c.Stats {
+					t.Errorf("%s/%s tenant %d diverges from checked:\n %s: %+v\n checked: %+v", tier, tenancy, i, tier, r, c)
+				}
 			}
 		}
 	}

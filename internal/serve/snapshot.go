@@ -334,8 +334,13 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tier, err := req.Run.tier()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad_request", Msg: err.Error()})
+		return
+	}
 	rctx, cancelRun := context.WithTimeout(r.Context(), s.cfg.RunTimeout)
-	out, err := s.resumeArtifact(rctx, art, snap, req.Run)
+	out, err := s.resumeArtifact(rctx, art, snap, tier, req.Run.MaxCycles)
 	cancelRun()
 	if err != nil {
 		if s.maybePause(w, r, meta, out, err) {
@@ -348,16 +353,17 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	s.snapshots.remove(req.Token)
 	s.metrics.SnapshotsResumed.Add(1)
 	s.metrics.Resume.Latency.observe(time.Since(start))
-	s.metrics.countRunTier(out.Fast, out.Safe)
+	s.metrics.countRunTier(out.Tier)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Key: meta.ArtKey, CachedBuild: cachedBuild,
-		Fast: out.Fast, Safe: out.Safe, Exit: out.Exit, Output: out.Output,
+		Tier: out.Tier, Fast: out.Fast, Safe: out.Safe,
+		Exit: out.Exit, Output: out.Output,
 		Stats: wireStats(out.Stats),
 	})
 }
 
 // resumeArtifact is runArtifact for a restored execution.
-func (s *Server) resumeArtifact(ctx context.Context, art *core.Artifact, snap []byte, o RunRequestOptions) (core.ExitResult, error) {
+func (s *Server) resumeArtifact(ctx context.Context, art *core.Artifact, snap []byte, tier vliw.Tier, maxCycles int64) (core.ExitResult, error) {
 	m := s.machines.Get().(*vliw.Machine)
 	s.metrics.MachinesInUse.Add(1)
 	defer func() {
@@ -365,7 +371,7 @@ func (s *Server) resumeArtifact(ctx context.Context, art *core.Artifact, snap []
 		s.machines.Put(m)
 	}()
 	return art.RunFromOn(ctx, m, snap, core.RunOptions{
-		Fast: o.Fast, Safe: o.Safe, MaxCycles: o.MaxCycles, SnapshotOnInterrupt: true})
+		Tier: tier, MaxCycles: maxCycles, SnapshotOnInterrupt: true})
 }
 
 // StartDrain flips the server to draining: /readyz starts answering 503 so

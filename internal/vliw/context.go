@@ -34,12 +34,14 @@ import (
 // Context values are created and pooled by their Machine (Reset and
 // ResetMany); they are not constructed directly.
 type Context struct {
-	id   int
-	img  *isa.Image
-	plan []planWord
-	fast bool
-	safe bool // plan is the guard-free safe-tier plan (UseSafeCertificate)
-	asid uint8
+	id     int
+	img    *isa.Image
+	plan   []planWord
+	fast   bool
+	safe   bool // plan is the guard-free safe-tier plan (UseSafeCertificate)
+	native bool // nplan is the closure-threaded translation (UseNativeCertificate)
+	nplan  *nativePlan
+	asid   uint8
 
 	// Architectural register state, partitioned per board pair (§6).
 	iregs [4][64]uint32
@@ -51,9 +53,19 @@ type Context struct {
 	beat    int64 // virtual clock: beats this context has executed
 	pending []pendingWrite
 	retired []pendingWrite // scratch: writes retired this beat (race check)
-	out     bytes.Buffer
-	halted  bool
-	exit    int32
+
+	// Native-tier retire ring (native.go): in-flight register writes
+	// bucketed by retire beat. c.pending stays the canonical serialized
+	// form — the ring is flushed back into it for Snapshot and ingested
+	// from it after Restore.
+	nring    [][]ringWrite
+	nrmask   int64  // len(nring)-1, cached for the push/drain hot paths
+	ndrained int64  // last beat whose ring bucket has been drained
+	nseq     uint32 // issue-order sequence number for ring writes
+	nscratch []ringWrite
+	out      bytes.Buffer
+	halted   bool
+	exit     int32
 
 	// Private memory-system view: address space, TLBs, icache tags, and
 	// bank-busy windows on the context's own timeline.
@@ -90,6 +102,8 @@ func (c *Context) reset(id int, img *isa.Image, plan []planWord, cfg mach.Config
 	c.plan = plan
 	c.fast = false
 	c.safe = false
+	c.native = false
+	c.nplan = nil
 	c.asid = 0
 
 	if need := img.RequiredMem(); int64(cap(c.mem)) >= need {
@@ -107,6 +121,12 @@ func (c *Context) reset(id int, img *isa.Image, plan []planWord, cfg mach.Config
 	c.beat = 0
 	c.pending = c.pending[:0]
 	c.retired = c.retired[:0]
+	for i := range c.nring {
+		c.nring[i] = c.nring[i][:0]
+	}
+	c.ndrained = 0
+	c.nseq = 0
+	c.nscratch = c.nscratch[:0]
 	c.out.Reset()
 	c.halted = false
 	c.exit = 0
@@ -220,8 +240,11 @@ func (c *Context) dtlbMiss(ea int64) bool {
 	if ea < 0 {
 		return false
 	}
-	page := ea / PageSize
-	slot := page % TLBEntries
+	// ea is non-negative here, so the page split is an unsigned shift and
+	// mask (PageSize and TLBEntries are powers of two) — the prescan calls
+	// this for every memory reference on every tier.
+	page := int64(uint64(ea) / PageSize)
+	slot := page & (TLBEntries - 1)
 	if c.dtlb[slot] == page && c.dtlbAsids[slot] == c.asid {
 		return false
 	}
@@ -238,6 +261,23 @@ func (c *Context) Fast() bool { return c.fast }
 
 // Safe reports whether the context runs on the guard-free safe tier.
 func (c *Context) Safe() bool { return c.safe }
+
+// Native reports whether the context runs on the closure-threaded native
+// tier.
+func (c *Context) Native() bool { return c.native }
+
+// Tier reports the context's execution tier.
+func (c *Context) Tier() Tier {
+	switch {
+	case c.native:
+		return TierNative
+	case c.safe:
+		return TierSafe
+	case c.fast:
+		return TierFast
+	}
+	return TierChecked
+}
 
 // Err returns the context's terminal error: a *Fault or *ErrCycleLimit when
 // the context died, nil while it is runnable or after a clean halt.

@@ -243,6 +243,22 @@ type Machine struct {
 	safeImg  *isa.Image
 	safeCert SafetyCertificate
 
+	// Native-tier plan cache (native.go): the closure-threaded translation
+	// built by buildNativePlan for (nativeImg, nativeCert), cached across
+	// Reset under the same single-slot policy as safePlan.
+	nativePlan *nativePlan
+	nativeImg  *isa.Image
+	nativeCert SafetyCertificate
+
+	// Multiway-branch scratch for the native step (stepNative): the
+	// translated branch closures publish the winning target here instead of
+	// threading loop-local state through every closure signature.
+	nTaken    bool
+	nBestPrio int
+	nNextPC   int
+	nHalted   bool
+	nExit     int32
+
 	// I/O processor DMA stream (§8.3), active when dmaRate > 0. The IOP
 	// targets the current context's address space.
 	dmaRate   float64 // bytes per second
@@ -668,13 +684,13 @@ func (m *Machine) run(ctx context.Context) (exit int32, out string, err error) {
 	c := m.ctxs[0]
 	m.cur = c
 	m.curIdx = 0
-	if c.safe {
-		// The safe tier's last line of defense: a post-certification image
-		// mutation can drive a guard-free site into the Go runtime's own
-		// slice-bounds or divide check. One deferred recover per run (not
-		// per step — the hot loop stays untouched) converts that panic back
-		// into the Fault the deleted guard would have raised; the blast
-		// radius is this context, never the process.
+	if c.safe || c.native {
+		// The safe and native tiers' last line of defense: a
+		// post-certification image mutation can drive a guard-free site into
+		// the Go runtime's own slice-bounds or divide check. One deferred
+		// recover per run (not per step — the hot loop stays untouched)
+		// converts that panic back into the Fault the deleted guard would
+		// have raised; the blast radius is this context, never the process.
 		defer func() {
 			if r := recover(); r != nil {
 				m.finish(c)
@@ -705,6 +721,7 @@ func (m *Machine) run(ctx context.Context) (exit int32, out string, err error) {
 	if m.StopBeat > 0 {
 		pauseAt = m.StopBeat
 	}
+	native := c.native
 	for !c.halted {
 		if c.beat >= ctxCheckAt {
 			if err := ctx.Err(); err != nil {
@@ -721,7 +738,13 @@ func (m *Machine) run(ctx context.Context) (exit int32, out string, err error) {
 			m.finish(c)
 			return 0, c.out.String(), &ErrCycleLimit{Limit: m.CycleLimit, PC: c.pc}
 		}
-		if err := m.step(c); err != nil {
+		var err error
+		if native {
+			err = m.stepNative(c)
+		} else {
+			err = m.step(c)
+		}
+		if err != nil {
 			m.finish(c)
 			return 0, c.out.String(), err
 		}
@@ -810,7 +833,9 @@ func (m *Machine) RunMany(ctx context.Context) ([]ContextResult, error) {
 		b0 := c.beat
 		s0 := m.Stats.BankStalls + m.Stats.RefillBeats
 		var err error
-		if c.safe {
+		if c.native {
+			err = m.stepNativeSafe(c)
+		} else if c.safe {
 			err = m.stepSafe(c)
 		} else {
 			err = m.step(c)
@@ -1124,6 +1149,12 @@ func (m *Machine) fetch(c *Context, pc int) {
 		m.Stats.ICacheHits++
 		return
 	}
+	m.refillICache(c, pc)
+}
+
+// refillICache charges an icache miss and refills the aligned
+// 4-instruction block (shared by fetch and the native tier's nFetch).
+func (m *Machine) refillICache(c *Context, pc int) {
 	m.Stats.ICacheMiss++
 	// refill the aligned 4-instruction block
 	blk := pc &^ 3

@@ -101,6 +101,9 @@ func (c *Context) Snapshot() ([]byte, error) {
 	if !c.booted {
 		return nil, &ErrBadSnapshot{Field: "state", Msg: "context has not executed: nothing to capture (beat 0 pristine state is the image itself)"}
 	}
+	// The native tier keeps in-flight writes in its retire ring; fold them
+	// back into c.pending so the wire format is tier-independent.
+	c.nRingFlush()
 
 	var payload bytes.Buffer
 	sec := func(tag byte, body func(*bytes.Buffer)) {

@@ -1,0 +1,88 @@
+package vliw
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestTierStringAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		tier Tier
+		name string
+	}{
+		{TierChecked, "checked"},
+		{TierFast, "fast"},
+		{TierSafe, "safe"},
+		{TierNative, "native"},
+	} {
+		if got := tc.tier.String(); got != tc.name {
+			t.Errorf("%d.String() = %q, want %q", int(tc.tier), got, tc.name)
+		}
+		parsed, err := ParseTier(tc.name)
+		if err != nil || parsed != tc.tier {
+			t.Errorf("ParseTier(%q) = %v, %v, want %v", tc.name, parsed, err, tc.tier)
+		}
+	}
+	if parsed, err := ParseTier(""); err != nil || parsed != TierChecked {
+		t.Errorf("ParseTier(\"\") = %v, %v, want checked", parsed, err)
+	}
+	if _, err := ParseTier("turbo"); err == nil {
+		t.Error("ParseTier accepted an unknown tier name")
+	}
+}
+
+func TestTierJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(TierSafe)
+	if err != nil || string(b) != `"safe"` {
+		t.Fatalf("Marshal(TierSafe) = %s, %v, want \"safe\"", b, err)
+	}
+	var tr Tier
+	if err := json.Unmarshal([]byte(`"native"`), &tr); err != nil || tr != TierNative {
+		t.Fatalf("Unmarshal(\"native\") = %v, %v", tr, err)
+	}
+	if err := json.Unmarshal([]byte(`null`), &tr); err != nil || tr != TierChecked {
+		t.Fatalf("Unmarshal(null) = %v, %v, want checked", tr, err)
+	}
+	if err := json.Unmarshal([]byte(`"warp"`), &tr); err == nil {
+		t.Fatal("Unmarshal accepted an unknown tier name")
+	}
+}
+
+func TestResolveTier(t *testing.T) {
+	for _, tc := range []struct {
+		tier       Tier
+		fast, safe bool
+		want       Tier
+		conflict   bool
+	}{
+		// Unset tier defers to the deprecated booleans.
+		{TierChecked, false, false, TierChecked, false},
+		{TierChecked, true, false, TierFast, false},
+		{TierChecked, false, true, TierSafe, false},
+		{TierChecked, true, true, TierSafe, false},
+		// Explicit tier wins over equal-or-weaker booleans.
+		{TierFast, true, false, TierFast, false},
+		{TierSafe, true, true, TierSafe, false},
+		{TierNative, false, false, TierNative, false},
+		{TierNative, true, true, TierNative, false},
+		// Booleans implying a stronger tier than named: conflict.
+		{TierFast, false, true, 0, true},
+		{TierFast, true, true, 0, true},
+	} {
+		got, err := ResolveTier(tc.tier, tc.fast, tc.safe)
+		if tc.conflict {
+			var ec *ErrTierConflict
+			if err == nil || !errors.As(err, &ec) {
+				t.Errorf("ResolveTier(%v, %t, %t) err = %v, want *ErrTierConflict", tc.tier, tc.fast, tc.safe, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ResolveTier(%v, %t, %t) = %v, %v, want %v", tc.tier, tc.fast, tc.safe, got, err, tc.want)
+		}
+	}
+	if _, err := ResolveTier(Tier(17), false, false); err == nil {
+		t.Error("ResolveTier accepted an out-of-range tier")
+	}
+}

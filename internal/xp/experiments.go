@@ -723,7 +723,7 @@ func ExpE13(ctx context.Context) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		blocksRun, err := blocksArt.Run(ctx, core.RunOptions{Fast: Fast})
+		blocksRun, err := blocksArt.Run(ctx, core.RunOptions{Tier: Tier})
 		if err != nil {
 			return nil, err
 		}

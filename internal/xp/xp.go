@@ -19,11 +19,10 @@ import (
 // cmd/tracebench sets it from -j; output is identical at every setting.
 var Parallelism int
 
-// Fast runs every workload simulation on the certified fast path: each
-// image is statically verified once and the machine skips its per-beat
-// dynamic checks. cmd/tracebench sets it from -fast; every table is
-// identical at either setting (the fast path changes no timing).
-var Fast bool
+// Tier selects the execution tier every workload simulation runs on
+// (checked, fast, safe, or native). cmd/tracebench sets it from -tier;
+// every table is identical at every setting (no tier changes timing).
+var Tier vliw.Tier
 
 // Table is one experiment's output: rows of measurements plus the paper
 // claim the shape is checked against.
@@ -154,7 +153,7 @@ func runOn(ctx context.Context, w Workload, cfg mach.Config, lvl opt.Options, pr
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: interpret: %w", w.Name, err)
 	}
-	run, err := art.Run(ctx, core.RunOptions{Fast: Fast})
+	run, err := art.Run(ctx, core.RunOptions{Tier: Tier})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: simulate: %w", w.Name, err)
 	}

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Tracked simulator benchmark: runs BenchmarkSimulator (checked),
 # BenchmarkSimulatorFast/FastCtx (certified), BenchmarkSimulatorSafe
-# (guard-free under a safety certificate), and BenchmarkSimulatorContexts
-# (K=4 time-shared hardware contexts) with fixed -benchtime/-count so runs
-# are comparable across commits, then emits BENCH_sim.json via benchjson,
-# comparing against the committed seed baseline (scripts/bench_baseline.txt).
+# (guard-free under a safety certificate), BenchmarkSimulatorNative
+# (closure-threaded translation of the image), and
+# BenchmarkSimulatorContexts (K=4 time-shared hardware contexts) with
+# fixed -benchtime/-count so runs are comparable across commits, then
+# emits BENCH_sim.json via benchjson, comparing against the committed
+# seed baseline (scripts/bench_baseline.txt).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,12 +22,14 @@ trap 'rm -f "$raw"' EXIT
 for _ in 1 2 3; do
 	go test -run '^$' -bench 'Simulator' -benchtime=2s -count=1 -benchmem .
 done | tee "$raw"
-# Two floors: the certified fast path has to hold its committed baseline
+# Three floors: the certified fast path has to hold its committed baseline
 # (10% noise floor — the checkpoint/restore and safety machinery must cost
-# nothing when unused), and the safe tier has to actually cash in its
-# deleted guards — at least as fast as the fast tier on the same corpus.
+# nothing when unused), the safe tier has to actually cash in its deleted
+# guards — at least as fast as the fast tier on the same corpus — and the
+# native tier's closure threading has to be worth the translation: at
+# least 2x the safe tier's beat rate.
 go run ./cmd/benchjson -baseline scripts/bench_baseline.txt \
 	-require 'BenchmarkSimulatorFast=0.90' \
-	-require-ratio 'BenchmarkSimulatorFast/BenchmarkSimulatorSafe=1.00' \
+	-require-ratio 'BenchmarkSimulatorFast/BenchmarkSimulatorSafe=1.00,BenchmarkSimulatorSafe/BenchmarkSimulatorNative=2.00' \
 	-o "$out" "$raw"
 echo "wrote $out"

@@ -17,7 +17,10 @@ echo "== go vet"
 go vet ./...
 
 echo "== go test -race"
-go test -race ./...
+# 20m: the four-way tier matrix in internal/fuzz's seed tests runs every
+# seed on checked/fast/safe/native, which under the race detector no
+# longer fits go test's default 10m package budget.
+go test -race -timeout 20m ./...
 
 echo "== go test -race, focused: simulator tiers/contexts/snapshots + serving layer"
 # The suite above already runs these packages once under -race, but cached
@@ -32,8 +35,11 @@ go run ./cmd/tracelint -matrix -safety examples/*.mf
 echo "== tracelint (checked-in fuzz corpus)"
 go run ./cmd/tracelint -corpus internal/fuzz/testdata/fuzz/FuzzDifferential/*
 
-echo "== certified fast path smoke (fast vs checked agree: examples x O0/O1/O2 x Trace 7/14/28)"
+echo "== certified fast path smoke (fast/safe vs checked agree: examples x O0/O1/O2 x Trace 7/14/28)"
 go test -run TestFastCheckedAgree -count=1 .
+
+echo "== native tier smoke (closure-threaded native vs checked agree: examples x O0/O1/O2 x Trace 7/14/28)"
+go test -run TestNativeCheckedAgree -count=1 .
 
 echo "== hardware contexts smoke (examples x K=1/2/4 time-shared)"
 go build -o /tmp/tracesim.check ./cmd/tracesim
@@ -66,11 +72,11 @@ done
 rm -rf "$snapdir"
 rm -f /tmp/tracesim.check
 
-echo "== tracefuzz smoke (3-way tier matrix: checked/fast/safe + K=4 timeshare oracle)"
-go run ./cmd/tracefuzz -seed 1 -n 200 -safe -timeshare
+echo "== tracefuzz smoke (4-way tier matrix: checked/fast/safe/native + K=4 timeshare oracle)"
+go run ./cmd/tracefuzz -seed 1 -n 200 -tier=native -timeshare
 
-echo "== tracefuzz checkpoint oracle (random-beat splits, checked + certified-fast)"
-go run ./cmd/tracefuzz -seed 1 -n 50 -snapshot
+echo "== tracefuzz checkpoint oracle (random-beat splits, checked/fast/native)"
+go run ./cmd/tracefuzz -seed 1 -n 50 -tier=native -snapshot
 
 echo "== tracesrv smoke (compile/run/lint round-trips + graceful shutdown)"
 bin=$(mktemp -d)

@@ -21,11 +21,11 @@
 //
 // Build returns an *Artifact — an immutable, concurrency-safe compiled
 // program that bundles the image, the pass report, the lazily-minted
-// fast-path Certificate (Artifact.Certificate), static verification
-// (Artifact.Lint), and execution (Artifact.Run, checked or certified-fast
-// via RunOptions.Fast). Every entry point takes a context.Context honored
-// at pass boundaries during compilation and at beat granularity during
-// simulation.
+// certificates (Artifact.Certificate, Artifact.CertifySafe), static
+// verification (Artifact.Lint), and execution (Artifact.Run, on any of
+// the four tiers via RunOptions.Tier). Every entry point takes a
+// context.Context honored at pass boundaries during compilation and at
+// beat granularity during simulation.
 //
 // Executions checkpoint: RunOptions.SnapshotAt pauses a run at a chosen
 // beat and returns a self-describing serialized snapshot that
@@ -48,7 +48,7 @@
 //
 //	trace.Compile(src, o)      ->  trace.Build(ctx, src, o)
 //	trace.Run(res)             ->  artifact.Run(ctx, trace.RunOptions{})
-//	trace.RunFast(res)         ->  artifact.Run(ctx, trace.RunOptions{Fast: true})
+//	trace.RunFast(res)         ->  artifact.Run(ctx, trace.RunOptions{Tier: trace.TierFast})
 //	trace.Certify(res)         ->  artifact.Certificate()
 //	trace.NewMachine(res)      ->  artifact.Machine()
 //
@@ -146,6 +146,33 @@ type PassReport = pipeline.Report
 
 // Stats is the simulator's performance counters.
 type Stats = vliw.Stats
+
+// Tier names one of the simulator's execution tiers: TierChecked,
+// TierFast, TierSafe, or TierNative. Every tier runs identical
+// architectural semantics — exit value, output, and all Stats counters are
+// bit-identical — and differs only in how much dynamic checking a
+// certificate statically discharges (and, for TierNative, in dispatch:
+// the per-slot interpreter is replaced by a closure-threaded translation
+// of the certified image). Select one via RunOptions.Tier or
+// RunManyOptions.Tier; the zero value is TierChecked.
+type Tier = vliw.Tier
+
+// The execution tiers, weakest checking discharge first.
+const (
+	TierChecked = vliw.TierChecked
+	TierFast    = vliw.TierFast
+	TierSafe    = vliw.TierSafe
+	TierNative  = vliw.TierNative
+)
+
+// ParseTier maps a tier name ("checked", "fast", "safe", "native") to its
+// Tier; the empty string parses as TierChecked.
+func ParseTier(s string) (Tier, error) { return vliw.ParseTier(s) }
+
+// ErrTierConflict reports options whose explicit Tier contradicts the
+// deprecated Fast/Safe booleans (the booleans imply a stronger tier than
+// the one named).
+type ErrTierConflict = vliw.ErrTierConflict
 
 // Machine is a TRACE processor instance executing a compiled image.
 type Machine = vliw.Machine
@@ -346,10 +373,23 @@ func RunSafe(res *Result) (int32, string, *Stats, error) {
 // per-beat dynamic resource and write-race checks. Exit value, output, and
 // statistics are identical to Run — only the checking mode differs.
 //
-// Deprecated: use Artifact.Run with RunOptions{Fast: true}, which reuses
-// the artifact's cached Certificate instead of re-verifying per call.
+// Deprecated: use Artifact.Run with RunOptions{Tier: TierFast}, which
+// reuses the artifact's cached Certificate instead of re-verifying per
+// call.
 func RunFast(res *Result) (int32, string, *Stats, error) {
 	return core.RunFast(res)
+}
+
+// RunNative executes a compiled program on the native tier: the safe
+// tier's graded certificate, with the per-slot interpreter replaced by a
+// closure-threaded translation of the certified image. Exit value, output,
+// and statistics are identical to Run, RunFast, and RunSafe.
+//
+// Deprecated: use Artifact.Run with RunOptions{Tier: TierNative}, which
+// reuses the artifact's cached SafeCertificate and the machine's cached
+// translation instead of re-deriving both per call.
+func RunNative(res *Result) (int32, string, *Stats, error) {
+	return core.RunNative(res)
 }
 
 // NewMachine returns a machine for the compiled image, for callers who want
